@@ -1,0 +1,13 @@
+"""Shared constants and output helpers for the experiment benches."""
+
+from pathlib import Path
+
+PAPER_APPS = ("mat1", "mat2", "fft", "qsort", "des")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a bench's table and persist it under results/."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

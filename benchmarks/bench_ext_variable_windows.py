@@ -1,0 +1,107 @@
+"""Extension bench -- variable (phase-aligned) analysis windows.
+
+The paper's conclusions propose variable simulation window sizes for QoS
+as future work; this repository implements them
+(:mod:`repro.traffic.qos`). The bench quantifies the trade on the
+synthetic benchmark against uniform windows at three resolutions:
+
+* a *fine* uniform grid (window = burst / 2): tightest control, most
+  windows, largest crossbar,
+* a *coarse* uniform grid (window = 4x burst): compact crossbar, worst
+  latency tail,
+* *phase-aligned variable* windows (max = 4x burst, min = burst / 2):
+  windows track burst edges, so the analysis lands between the two
+  uniform extremes (size and latency) while running on a small fraction
+  of the fine grid's window count -- burst-level demand information at
+  coarse-grid analysis cost.
+"""
+
+from repro.analysis import format_table
+from repro.apps.synthetic import build_synthetic
+from repro.core import CrossbarDesignProblem, CrossbarSynthesizer, SynthesisConfig
+from repro.traffic import phase_aligned_boundaries
+
+from _bench_utils import emit
+
+BURST = 1_000
+
+
+def run_experiment():
+    app = build_synthetic(burst_cycles=BURST, total_cycles=100_000, seed=3)
+    trace = app.simulate_full_crossbar().trace
+    full_stats = app.simulate_full_crossbar().latency_stats()
+
+    variants = {
+        "uniform-fine": SynthesisConfig(
+            window_size=BURST // 2, max_targets_per_bus=None
+        ),
+        "uniform-coarse": SynthesisConfig(
+            window_size=4 * BURST, max_targets_per_bus=None
+        ),
+        "variable": SynthesisConfig(
+            window_size=4 * BURST,
+            variable_windows=True,
+            variable_window_ratio=8,
+            max_targets_per_bus=None,
+        ),
+    }
+    outcome = {}
+    for label, config in variants.items():
+        report = CrossbarSynthesizer(config).design(app, trace=trace)
+        validation = app.simulate(
+            report.design.it.as_list(),
+            report.design.ti.as_list(),
+            app.sim_cycles,
+        )
+        stats = validation.latency_stats()
+        outcome[label] = {
+            "windows": report.it_report.problem.num_windows,
+            "buses": report.design.bus_count,
+            "mean": stats.mean,
+            "max": stats.maximum,
+            "mean_rel": stats.mean / full_stats.mean,
+            "max_rel": stats.maximum / full_stats.maximum,
+        }
+    return outcome
+
+
+def test_variable_window_extension(benchmark, results_dir):
+    outcome = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = [
+        [
+            label,
+            data["windows"],
+            data["buses"],
+            data["mean"],
+            data["max"],
+            data["mean_rel"],
+        ]
+        for label, data in outcome.items()
+    ]
+    emit(
+        results_dir,
+        "ext_variable_windows",
+        format_table(
+            [
+                "analysis", "windows", "total buses", "mean lat (cy)",
+                "max lat (cy)", "mean vs full",
+            ],
+            rows,
+            title=(
+                "Extension: phase-aligned variable windows vs uniform "
+                "(paper future work)"
+            ),
+        ),
+    )
+
+    fine = outcome["uniform-fine"]
+    coarse = outcome["uniform-coarse"]
+    variable = outcome["variable"]
+    # variable windows need far fewer windows than the fine uniform grid
+    assert variable["windows"] < 0.6 * fine["windows"]
+    # and land between the two uniform extremes on size ...
+    assert coarse["buses"] <= variable["buses"] <= fine["buses"]
+    # ... and on mean latency
+    assert variable["mean"] <= 1.02 * coarse["mean"]
+    assert variable["mean"] >= 0.98 * fine["mean"]

@@ -1,0 +1,93 @@
+"""Fig. 4 -- packet latencies of avg-based vs window-based designs.
+
+The paper normalizes each design's average (Fig. 4(a)) and maximum
+(Fig. 4(b)) packet latency to the full crossbar's, for all five MPSoCs.
+Crossbars designed from average traffic land at 4-7x the window-designed
+latencies; the window-based designs stay near the full crossbar.
+
+The timed kernel runs the whole experiment (design + 3 validation
+simulations per application).
+"""
+
+from repro.analysis import bar_chart, compare_designs, format_table
+from repro.core import (
+    CrossbarSynthesizer,
+    SynthesisConfig,
+    average_traffic_design,
+    full_crossbar_design,
+)
+
+from _bench_utils import PAPER_APPS, emit
+
+
+def run_experiment(app_traces):
+    synthesizer = CrossbarSynthesizer(SynthesisConfig())
+    outcome = {}
+    for name, (app, trace) in app_traces.items():
+        windowed = synthesizer.design(app, trace=trace).design
+        average = average_traffic_design(trace)
+        full = full_crossbar_design(trace)
+        evaluations = compare_designs(app, [windowed, average, full])
+        outcome[name] = evaluations
+    return outcome
+
+
+def test_fig4_relative_latencies(benchmark, app_traces, results_dir):
+    outcome = benchmark.pedantic(
+        run_experiment, args=(app_traces,), rounds=1, iterations=1
+    )
+
+    rows = []
+    avg_series, win_series = [], []
+    max_avg_series, max_win_series = [], []
+    for name in PAPER_APPS:
+        evaluations = outcome[name]
+        full = evaluations["full"].stats
+        avg_stats = evaluations["average-traffic"].stats
+        win_stats = evaluations["windowed"].stats
+        avg_rel = avg_stats.mean / full.mean
+        win_rel = win_stats.mean / full.mean
+        avg_max_rel = avg_stats.maximum / full.maximum
+        win_max_rel = win_stats.maximum / full.maximum
+        avg_series.append(avg_rel)
+        win_series.append(win_rel)
+        max_avg_series.append(avg_max_rel)
+        max_win_series.append(win_max_rel)
+        rows.append([name, avg_rel, win_rel, avg_max_rel, win_max_rel,
+                     avg_rel / win_rel])
+
+    table = format_table(
+        [
+            "application", "avg-design mean rel", "win-design mean rel",
+            "avg-design max rel", "win-design max rel", "avg/win mean",
+        ],
+        rows,
+        title=(
+            "Fig. 4: packet latency relative to a full crossbar\n"
+            "(paper: avg designs are 4x-7x above win designs; win stays "
+            "near 1)"
+        ),
+    )
+    chart_a = bar_chart(
+        [f"{name}:avg" for name in PAPER_APPS]
+        + [f"{name}:win" for name in PAPER_APPS],
+        avg_series + win_series,
+        title="Fig. 4(a): average packet latency (relative to full)",
+        unit="x",
+    )
+    chart_b = bar_chart(
+        [f"{name}:avg" for name in PAPER_APPS]
+        + [f"{name}:win" for name in PAPER_APPS],
+        max_avg_series + max_win_series,
+        title="Fig. 4(b): maximum packet latency (relative to full)",
+        unit="x",
+    )
+    emit(results_dir, "fig4", "\n\n".join([table, chart_a, chart_b]))
+
+    for name, avg_rel, win_rel in zip(PAPER_APPS, avg_series, win_series):
+        # windowed designs stay within acceptable bounds of the minimum
+        assert win_rel < 1.6, name
+        # average-traffic designs are far worse, on every application
+        assert avg_rel > 1.7 * win_rel, name
+    for avg_max, win_max in zip(max_avg_series, max_win_series):
+        assert avg_max > 3 * win_max

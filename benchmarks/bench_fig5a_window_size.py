@@ -1,0 +1,61 @@
+"""Fig. 5(a) -- initiator->target crossbar size vs window size.
+
+The paper sweeps the analysis window on a 20-core synthetic benchmark
+with ~1000-cycle bursts: windows much smaller than the burst give a
+near-full crossbar; windows of 1-4 burst lengths compact sharply; very
+large windows degenerate toward the average-traffic design.
+
+The timed kernel is the full sweep.
+"""
+
+from repro.analysis import format_table, window_size_sweep, xy_plot
+from repro.apps.synthetic import synthetic_trace
+from repro.core import SynthesisConfig
+
+from _bench_utils import emit
+
+BURST = 1_000
+WINDOWS = [200, 300, 400, 750, 1_000, 2_000, 3_000, 4_000, 50_000, 120_000]
+
+
+def test_fig5a_window_size_sweep(benchmark, results_dir):
+    trace = synthetic_trace(
+        burst_cycles=BURST, total_cycles=120_000, seed=3
+    )
+    config = SynthesisConfig(max_targets_per_bus=None)
+
+    points = benchmark.pedantic(
+        lambda: window_size_sweep(trace, WINDOWS, config),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["window (cy)", "window/burst", "IT buses"],
+        [
+            [int(point.value), point.value / BURST, point.it_buses]
+            for point in points
+        ],
+        title=(
+            "Fig. 5(a): IT crossbar size vs window size "
+            f"(synthetic 20-core benchmark, burst ~{BURST} cy)"
+        ),
+    )
+    plot = xy_plot(
+        [point.value / BURST for point in points],
+        [point.it_buses for point in points],
+        title="IT buses vs window/burst ratio",
+        x_label="window/burst",
+        y_label="buses",
+    )
+    emit(results_dir, "fig5a", table + "\n\n" + plot)
+
+    sizes = {int(point.value): point.it_buses for point in points}
+    full_size = trace.num_targets
+    # below the burst size: close to a full crossbar
+    assert sizes[200] >= 0.8 * full_size
+    # a few burst lengths: sharply compacted
+    assert sizes[4_000] <= 0.6 * sizes[200]
+    # monotone non-increasing across the sweep
+    ordered = [point.it_buses for point in points]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:]))

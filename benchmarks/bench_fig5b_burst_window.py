@@ -1,0 +1,84 @@
+"""Fig. 5(b) -- acceptable window size vs burst size.
+
+For burst sizes of 1000..5000 cycles the paper reports the acceptable
+analysis window growing roughly linearly (about 5x the burst size at the
+conservative end). We define "acceptable" operationally, as the paper's
+text does: the largest window whose designed crossbar still keeps mean
+packet latency within a bound of the full crossbar's, measured by
+re-simulation.
+
+The timed kernel is the full burst sweep (design + validation per
+candidate window).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, xy_plot
+from repro.analysis.sweep import acceptable_window_search
+from repro.apps.synthetic import build_synthetic
+from repro.core import SynthesisConfig
+
+from _bench_utils import emit
+
+BURSTS = [1_000, 2_000, 3_000, 4_000, 5_000]
+MULTIPLES = [1, 2, 3, 4, 5, 6, 8]
+LATENCY_BOUND = 1.5  # on the mean
+PEAK_BOUND = 3.0  # on the maximum
+
+
+def run_sweep():
+    acceptable = {}
+    for burst in BURSTS:
+        app = build_synthetic(
+            burst_cycles=burst,
+            total_cycles=max(90_000, burst * 45),
+            seed=3,
+        )
+        trace = app.simulate_full_crossbar().trace
+        candidates = [burst * multiple for multiple in MULTIPLES]
+        acceptable[burst] = acceptable_window_search(
+            app,
+            trace,
+            candidates,
+            max_latency_ratio=LATENCY_BOUND,
+            max_peak_ratio=PEAK_BOUND,
+            config=SynthesisConfig(max_targets_per_bus=None),
+        )
+    return acceptable
+
+
+def test_fig5b_burst_vs_window(benchmark, results_dir):
+    acceptable = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [burst, window, window / burst]
+        for burst, window in acceptable.items()
+    ]
+    table = format_table(
+        ["burst (cy)", "acceptable window (cy)", "window/burst"],
+        rows,
+        title=(
+            "Fig. 5(b): acceptable window size vs burst size "
+            f"(mean within {LATENCY_BOUND}x and max within {PEAK_BOUND}x "
+            f"of full crossbar)"
+        ),
+    )
+    plot = xy_plot(
+        list(acceptable.keys()),
+        list(acceptable.values()),
+        title="acceptable window vs burst size",
+        x_label="burst",
+        y_label="window",
+    )
+    emit(results_dir, "fig5b", table + "\n\n" + plot)
+
+    windows = np.array([acceptable[burst] for burst in BURSTS], dtype=float)
+    bursts = np.array(BURSTS, dtype=float)
+    # every burst admits some acceptable window of at least its own size
+    assert (windows >= bursts).all()
+    # linear growth: correlation of window with burst is strong
+    correlation = np.corrcoef(bursts, windows)[0, 1]
+    assert correlation > 0.8
+    # slope in the paper's ballpark (window a small multiple of burst)
+    slope = np.polyfit(bursts, windows, 1)[0]
+    assert 1.0 <= slope <= 8.0

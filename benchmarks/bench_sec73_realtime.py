@@ -1,0 +1,86 @@
+"""Sec. 7.3 -- real-time stream guarantees.
+
+Critical streams whose traffic overlaps in any window are placed on
+separate buses; the paper reports their packet latency on the designed
+crossbar as "almost equal to the latency of perfect communication using
+a full crossbar". We mark two private-memory streams critical in each
+benchmark, design, and compare the critical streams' latency against the
+full crossbar reference.
+
+The timed kernel runs the whole experiment.
+"""
+
+from repro.analysis import format_table
+from repro.apps import build_application
+from repro.core import CrossbarSynthesizer, SynthesisConfig
+
+from _bench_utils import emit
+
+CRITICAL = (0, 4)
+APPS = ("mat2", "des", "qsort")
+
+
+def run_experiment():
+    synthesizer = CrossbarSynthesizer(SynthesisConfig())
+    results = {}
+    for name in APPS:
+        app = build_application(name, critical_targets=CRITICAL)
+        full = app.simulate_full_crossbar()
+        report = synthesizer.design(app, trace=full.trace)
+        validation = app.simulate(
+            report.design.it.as_list(),
+            report.design.ti.as_list(),
+            app.sim_cycles * 4,
+        )
+        results[name] = {
+            "separated": (
+                report.design.it.binding[CRITICAL[0]]
+                != report.design.it.binding[CRITICAL[1]]
+            ),
+            "full_critical": full.latency_stats(critical_only=True),
+            "designed_critical": validation.latency_stats(critical_only=True),
+            "designed_all": validation.latency_stats(),
+        }
+    return results
+
+
+def test_sec73_realtime_streams(benchmark, results_dir):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for name in APPS:
+        data = results[name]
+        ratio = (
+            data["designed_critical"].mean / data["full_critical"].mean
+        )
+        rows.append(
+            [
+                name,
+                str(data["separated"]),
+                data["full_critical"].mean,
+                data["designed_critical"].mean,
+                ratio,
+            ]
+        )
+    emit(
+        results_dir,
+        "sec73_realtime",
+        format_table(
+            [
+                "application", "critical pair separated",
+                "full-xbar critical avg", "designed critical avg",
+                "designed/full",
+            ],
+            rows,
+            title=(
+                "Sec. 7.3: real-time stream latency on the designed "
+                "crossbar (paper: ~= full crossbar)"
+            ),
+        ),
+    )
+
+    for name in APPS:
+        data = results[name]
+        assert data["separated"], name
+        ratio = data["designed_critical"].mean / data["full_critical"].mean
+        assert ratio < 1.35, name  # near-perfect-communication latency

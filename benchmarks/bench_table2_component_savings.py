@@ -1,0 +1,70 @@
+"""Table 2 -- crossbar component savings across the five MPSoCs.
+
+Paper values (total buses across both crossbars):
+
+    application   full   designed   ratio
+    Mat1          25     8          3.13
+    Mat2          21     6          3.5
+    FFT           29     15         1.93
+    QSort         15     6          2.5
+    DES           19     6          3.12
+
+The timed kernel designs all five applications.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CrossbarSynthesizer, SynthesisConfig
+
+from _bench_utils import PAPER_APPS, emit
+
+PAPER_DESIGNED = {"mat1": 8, "mat2": 6, "fft": 15, "qsort": 6, "des": 6}
+PAPER_FULL = {"mat1": 25, "mat2": 21, "fft": 29, "qsort": 15, "des": 19}
+
+
+def test_table2_component_savings(benchmark, app_traces, results_dir):
+    synthesizer = CrossbarSynthesizer(SynthesisConfig())
+
+    def design_all():
+        return {
+            name: synthesizer.design(app, trace=trace).design
+            for name, (app, trace) in app_traces.items()
+        }
+
+    designs = benchmark.pedantic(design_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in PAPER_APPS:
+        app, _trace = app_traces[name]
+        design = designs[name]
+        full_count = app.num_cores
+        rows.append(
+            [
+                name,
+                full_count,
+                design.bus_count,
+                full_count / design.bus_count,
+                f"{PAPER_FULL[name]} -> {PAPER_DESIGNED[name]} "
+                f"({PAPER_FULL[name] / PAPER_DESIGNED[name]:.2f}x)",
+            ]
+        )
+    emit(
+        results_dir,
+        "table2",
+        format_table(
+            ["application", "full buses", "designed buses", "ratio", "paper"],
+            rows,
+            title="Table 2: component savings",
+        ),
+    )
+
+    for name in PAPER_APPS:
+        app, _trace = app_traces[name]
+        design = designs[name]
+        # full crossbar bus count must equal the paper's core count
+        assert app.num_cores == PAPER_FULL[name]
+        # designed size within one bus of the paper's
+        assert abs(design.bus_count - PAPER_DESIGNED[name]) <= 1, name
+        # savings must be substantial everywhere
+        assert app.num_cores / design.bus_count >= 1.8

@@ -1,0 +1,32 @@
+"""Shared fixtures for the experiment benches.
+
+Every bench regenerates one table or figure of the paper. Expensive
+artifacts (full-crossbar traces) are computed once per session; each
+bench writes its regenerated table/series to ``benchmarks/results/`` so
+the output survives pytest's capture and can be diffed against
+EXPERIMENTS.md.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import build_application
+
+from _bench_utils import PAPER_APPS, RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def app_traces():
+    """Full-crossbar traces of all five paper benchmarks (Phase 1)."""
+    traces = {}
+    for name in PAPER_APPS:
+        app = build_application(name)
+        traces[name] = (app, app.simulate_full_crossbar().trace)
+    return traces

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Variable analysis windows (the paper's future-work extension).
+
+The paper's conclusions propose variable simulation window sizes for
+QoS. This example derives *phase-aligned* windows from the synthetic
+benchmark's traffic -- boundaries at burst edges, fine windows across
+busy phases, coarse ones across idle time -- and runs the synthesis flow
+on them, comparing against uniform fine and coarse grids.
+"""
+
+from repro import CrossbarSynthesizer, SynthesisConfig
+from repro.analysis import format_table
+from repro.apps.synthetic import build_synthetic
+from repro.traffic import WindowedTraffic, phase_aligned_boundaries
+
+BURST = 1_000
+
+
+def main() -> None:
+    app = build_synthetic(burst_cycles=BURST, total_cycles=80_000, seed=3)
+    trace = app.simulate_full_crossbar().trace
+    full_stats = app.simulate_full_crossbar().latency_stats()
+    print(
+        f"synthetic benchmark: {trace.num_initiators}+{trace.num_targets} "
+        f"cores, bursts ~{BURST} cy, {trace.total_cycles} cycles"
+    )
+
+    edges = phase_aligned_boundaries(
+        trace, min_window=BURST // 2, max_window=4 * BURST
+    )
+    widths = [b - a for a, b in zip(edges, edges[1:])]
+    print(
+        f"\nphase-aligned boundaries: {len(edges) - 1} windows, "
+        f"sizes {min(widths)}..{max(widths)} cycles"
+    )
+    windowed = WindowedTraffic(trace, boundaries=edges)
+    print(f"peak per-window utilization: {windowed.utilization().max():.2f}")
+
+    variants = {
+        "uniform-fine": SynthesisConfig(
+            window_size=BURST // 2, max_targets_per_bus=None
+        ),
+        "uniform-coarse": SynthesisConfig(
+            window_size=4 * BURST, max_targets_per_bus=None
+        ),
+        "phase-aligned": SynthesisConfig(
+            window_size=4 * BURST,
+            variable_windows=True,
+            variable_window_ratio=8,
+            max_targets_per_bus=None,
+        ),
+    }
+    rows = []
+    for label, config in variants.items():
+        report = CrossbarSynthesizer(config).design(app, trace=trace)
+        validation = app.simulate(
+            report.design.it.as_list(),
+            report.design.ti.as_list(),
+            app.sim_cycles,
+        )
+        stats = validation.latency_stats()
+        rows.append(
+            [
+                label,
+                report.it_report.problem.num_windows,
+                report.design.bus_count,
+                stats.mean,
+                stats.mean / full_stats.mean,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["analysis", "windows", "buses", "avg lat (cy)", "vs full"],
+            rows,
+        )
+    )
+    print(
+        "\nphase alignment recovers burst-level demand information at a "
+        "fraction of the\nfine grid's window count, landing between the "
+        "uniform extremes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setuptools shim.
+
+Package metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on minimal environments that lack the ``wheel``
+package (legacy ``setup.py develop`` editable installs).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

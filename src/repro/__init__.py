@@ -1,0 +1,77 @@
+"""repro -- application-specific STbus crossbar generation.
+
+A full reproduction of Murali & De Micheli, *An Application-Specific
+Design Methodology for STbus Crossbar Generation* (DATE 2005): a
+cycle-resolved STbus MPSoC platform simulator, window-based traffic
+analysis, the MILP/branch-and-bound crossbar synthesis flow, the paper's
+five benchmark applications, and the baselines it compares against.
+
+Quickstart
+----------
+>>> from repro import build_application, CrossbarSynthesizer
+>>> app = build_application("mat2")                    # doctest: +SKIP
+>>> report = CrossbarSynthesizer().design(app)         # doctest: +SKIP
+>>> report.design.bus_count                            # doctest: +SKIP
+6
+
+See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/``
+for the scripts that regenerate every table and figure of the paper.
+"""
+
+from repro.apps import APPLICATIONS, Application, build_application
+from repro.core import (
+    BusBinding,
+    CrossbarDesign,
+    CrossbarDesignProblem,
+    CrossbarSynthesizer,
+    SynthesisConfig,
+    SynthesisReport,
+    average_traffic_design,
+    full_crossbar_design,
+    peak_bandwidth_design,
+    shared_bus_design,
+)
+from repro.errors import ReproError
+from repro.platform import SimulationResult, SoC, SoCConfig, TimingModel
+from repro.traffic import (
+    SyntheticTrafficConfig,
+    TrafficTrace,
+    WindowedTraffic,
+    generate_synthetic_trace,
+    load_trace_jsonl,
+    save_trace_jsonl,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # applications
+    "Application",
+    "APPLICATIONS",
+    "build_application",
+    # platform
+    "SoC",
+    "SoCConfig",
+    "SimulationResult",
+    "TimingModel",
+    # traffic
+    "TrafficTrace",
+    "WindowedTraffic",
+    "SyntheticTrafficConfig",
+    "generate_synthetic_trace",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+    # synthesis
+    "CrossbarSynthesizer",
+    "SynthesisConfig",
+    "SynthesisReport",
+    "CrossbarDesign",
+    "BusBinding",
+    "CrossbarDesignProblem",
+    "average_traffic_design",
+    "peak_bandwidth_design",
+    "shared_bus_design",
+    "full_crossbar_design",
+]

@@ -1,0 +1,136 @@
+"""Parameter sweeps for the design-space studies (paper Sec. 7.2/7.4).
+
+Three drivers:
+
+* :func:`window_size_sweep` -- crossbar size as the analysis window
+  grows (Fig. 5(a)): near-full below the burst size, compact at a few
+  burst lengths, average-like beyond.
+* :func:`overlap_threshold_sweep` -- crossbar size as the conflict
+  threshold relaxes from 0% to 50% (Fig. 6).
+* :func:`acceptable_window_search` -- the largest window whose design
+  still meets a latency bound, per burst size (Fig. 5(b)); grows
+  roughly linearly with the burst size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.apps.descriptor import Application
+from repro.core.spec import SynthesisConfig
+from repro.core.synthesis import CrossbarSynthesizer
+from repro.errors import ConfigurationError
+from repro.traffic.trace import TrafficTrace
+
+__all__ = [
+    "SweepPoint",
+    "window_size_sweep",
+    "overlap_threshold_sweep",
+    "acceptable_window_search",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the swept value and the resulting design size."""
+
+    value: float
+    it_buses: int
+    ti_buses: int
+
+    @property
+    def total_buses(self) -> int:
+        return self.it_buses + self.ti_buses
+
+
+def window_size_sweep(
+    trace: TrafficTrace,
+    window_sizes: Sequence[int],
+    config: Optional[SynthesisConfig] = None,
+) -> List[SweepPoint]:
+    """Design the crossbar for each window size (Fig. 5(a))."""
+    base = config or SynthesisConfig()
+    points = []
+    for window in window_sizes:
+        effective = min(window, trace.total_cycles)
+        report = CrossbarSynthesizer(
+            replace(base, window_size=effective)
+        ).design_from_trace(trace, effective)
+        points.append(
+            SweepPoint(
+                value=float(window),
+                it_buses=report.design.it.num_buses,
+                ti_buses=report.design.ti.num_buses,
+            )
+        )
+    return points
+
+
+def overlap_threshold_sweep(
+    trace: TrafficTrace,
+    thresholds: Sequence[float],
+    window_size: int,
+    config: Optional[SynthesisConfig] = None,
+) -> List[SweepPoint]:
+    """Design the crossbar for each overlap threshold (Fig. 6)."""
+    base = config or SynthesisConfig()
+    points = []
+    for threshold in thresholds:
+        report = CrossbarSynthesizer(
+            replace(base, window_size=window_size, overlap_threshold=threshold)
+        ).design_from_trace(trace, window_size)
+        points.append(
+            SweepPoint(
+                value=threshold,
+                it_buses=report.design.it.num_buses,
+                ti_buses=report.design.ti.num_buses,
+            )
+        )
+    return points
+
+
+def acceptable_window_search(
+    application: Application,
+    trace: TrafficTrace,
+    candidate_windows: Sequence[int],
+    max_latency_ratio: float = 1.5,
+    max_peak_ratio: float = 3.0,
+    config: Optional[SynthesisConfig] = None,
+) -> int:
+    """Largest window whose designed crossbar meets the latency bounds.
+
+    For each candidate window (ascending), the crossbar is designed and
+    the application re-simulated on it; the acceptable window is the
+    largest one whose *average* packet latency stays within
+    ``max_latency_ratio`` and whose *maximum* packet latency within
+    ``max_peak_ratio`` of the full crossbar's (Fig. 5(b) calls these
+    "acceptable window sizes" -- the paper stresses that over-large
+    windows hurt the worst case first). Candidates beyond the first
+    failing window are skipped, since larger windows only shrink the
+    design.
+    """
+    if not candidate_windows:
+        raise ConfigurationError("need at least one candidate window")
+    base = config or SynthesisConfig()
+    full = application.simulate_full_crossbar()
+    full_stats = full.latency_stats()
+    full_mean = full_stats.mean or 1.0
+    full_peak = full_stats.maximum or 1
+    budget = application.sim_cycles * 6
+    best = 0
+    for window in sorted(candidate_windows):
+        effective = min(window, trace.total_cycles)
+        synthesizer = CrossbarSynthesizer(replace(base, window_size=effective))
+        report = synthesizer.design_from_trace(trace, effective)
+        validation = application.simulate(
+            report.design.it.as_list(), report.design.ti.as_list(), budget
+        )
+        stats = validation.latency_stats()
+        mean_ok = stats.mean / full_mean <= max_latency_ratio
+        peak_ok = stats.maximum / full_peak <= max_peak_ratio
+        if mean_ok and peak_ok:
+            best = window
+        else:
+            break
+    return best

@@ -1,0 +1,70 @@
+"""ASCII charts.
+
+The execution environment has no plotting stack, so the figure benches
+render their series as monospace charts alongside the raw numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["bar_chart", "xy_plot"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def xy_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 12,
+    width: int = 56,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Scatter plot of a series on a character grid.
+
+    Points are marked ``*``; the left margin carries the y-range and the
+    bottom line the x-range.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return title
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = round((x - x_low) / x_span * (width - 1))
+        row = height - 1 - round((y - y_low) / y_span * (height - 1))
+        grid[row][column] = "*"
+    lines = [title] if title else []
+    lines.append(f"{y_label} max={y_high:g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"{y_label} min={y_low:g}; {x_label}: {x_low:g} .. {x_high:g}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""FFT suite (29 cores).
+
+Data-parallel butterfly stages: *all* cores compute the same stage at the
+same time between barriers, split into two half-groups (even/odd
+butterfly blocks). The tight synchronization produces heavy pairwise
+overlap between the private-memory streams inside each half-group, so the
+conflict pre-processing forces most of them onto separate buses -- this
+is why FFT compacts far less than the other suites in the paper's Table 2
+(29 cores -> 15 buses, only a 1.93x saving).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.descriptor import Application, standard_platform
+from repro.apps.programs import WorkloadShape, phased_program
+
+__all__ = ["build_fft"]
+
+_FFT_ARMS = 13  # 13 ARMs -> 29 cores
+
+_FFT_SHAPE = WorkloadShape(
+    iterations=26,
+    stages=2,  # even/odd butterfly halves
+    slot_cycles=560,
+    accesses_per_iteration=42,
+    burst_words=8,
+    write_phase_period=1,
+    compute_between=0,
+    barrier_every=1,  # barrier per butterfly stage: lock-step
+    shared_every=4,  # transpose exchanges through shared memory
+    shared_burst=8,
+    irq_every=13,
+    jitter=8,  # nearly perfectly aligned slots
+    seed=17,
+)
+
+
+def build_fft(critical_targets: Sequence[int] = (), seed: int = 17) -> Application:
+    """FFT suite: 13 ARMs, 29 cores (paper Table 2 row 'FFT')."""
+    shape = WorkloadShape(**{**_FFT_SHAPE.__dict__, "seed": seed})
+    config = standard_platform(_FFT_ARMS, critical_targets=critical_targets,
+                               seed=seed)
+    builders = tuple(
+        (lambda arm=arm: phased_program(arm, _FFT_ARMS, shape))
+        for arm in range(_FFT_ARMS)
+    )
+    period_estimate = shape.stages * shape.slot_cycles + 400
+    return Application(
+        name="fft",
+        config=config,
+        program_builders=builders,
+        sim_cycles=shape.iterations * period_estimate + 12_000,
+        default_window=1_000,
+        description="data-parallel FFT butterfly stages (29 cores)",
+    )

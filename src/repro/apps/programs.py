@@ -1,0 +1,187 @@
+"""Workload program building blocks.
+
+All five benchmarks share one skeleton, the *phased program*: iterations
+separated by barriers, each iteration placing the core's memory work into
+a temporal *stage slot* (pipeline position). The phase structure is what
+shapes the traffic the synthesis methodology exploits:
+
+* cores in the same stage access their private memories at the same time
+  -> strong pairwise overlap (must not share a bus),
+* cores in different stages are temporally disjoint -> they can share a
+  bus without hurting latency even when the summed bandwidth is high,
+* iterations alternate write-heavy and read-heavy blocks, loading the
+  initiator->target and target->initiator crossbars in alternating
+  windows (reads carry payload on the response path, writes on the
+  request path),
+* shared memory, semaphore and interrupt traffic is sparse and
+  lock-protected, reproducing the paper's low-rate common targets.
+
+Every program is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ApplicationError
+from repro.platform.initiator import (
+    Barrier,
+    Compute,
+    Lock,
+    Operation,
+    Read,
+    Unlock,
+    Write,
+)
+
+__all__ = ["WorkloadShape", "phased_program"]
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Parameters of a phased benchmark workload.
+
+    Attributes
+    ----------
+    iterations:
+        Barrier-to-barrier iterations to run.
+    stages:
+        Temporal pipeline depth; core ``arm`` occupies slot
+        ``arm % stages`` within each iteration.
+    slot_cycles:
+        Nominal stage-slot length; stage *s* starts its work ``s *
+        slot_cycles`` after the barrier.
+    accesses_per_iteration:
+        Number of burst accesses in the core's slot each iteration.
+    burst_words:
+        Words per burst access.
+    write_phase_period:
+        The block kind flips between write-heavy and read-heavy every
+        ``write_phase_period`` iterations (1 = strict alternation). 0
+        disables alternation (every iteration mixes reads and writes).
+    compute_between:
+        Compute cycles inserted between consecutive accesses.
+    barrier_every:
+        Iterations between barrier synchronizations (1 = lock-step, the
+        matmul/FFT pattern; larger values let phases drift, the qsort
+        pattern). 0 disables barriers entirely.
+    desync_max_compute:
+        Upper bound of random per-iteration compute padding; non-zero
+        values desynchronize cores (qsort).
+    shared_every:
+        Iterations between lock-protected shared-memory exchanges.
+    shared_burst:
+        Burst length of the shared-memory exchange accesses.
+    irq_every:
+        Iterations between interrupt-device writes (round-robin leader).
+    jitter:
+        Small random start-of-slot jitter bound, in cycles.
+    seed:
+        Base seed; each core derives an independent stream.
+    """
+
+    iterations: int = 30
+    stages: int = 3
+    slot_cycles: int = 330
+    accesses_per_iteration: int = 24
+    burst_words: int = 8
+    write_phase_period: int = 1
+    compute_between: int = 0
+    barrier_every: int = 1
+    desync_max_compute: int = 0
+    shared_every: int = 5
+    shared_burst: int = 4
+    irq_every: int = 8
+    jitter: int = 16
+    seed: int = 7
+
+    def validate(self) -> None:
+        """Raise :class:`ApplicationError` on inconsistent parameters."""
+        if self.iterations < 1:
+            raise ApplicationError("iterations must be >= 1")
+        if self.stages < 1:
+            raise ApplicationError("stages must be >= 1")
+        if self.accesses_per_iteration < 1:
+            raise ApplicationError("accesses_per_iteration must be >= 1")
+        if self.burst_words < 1:
+            raise ApplicationError("burst_words must be >= 1")
+        if self.barrier_every < 0 or self.shared_every < 0 or self.irq_every < 0:
+            raise ApplicationError("periods must be >= 0")
+
+
+def phased_program(
+    arm: int, num_arms: int, shape: WorkloadShape
+) -> Iterator[Operation]:
+    """Generate one core's operation stream for a phased workload.
+
+    Target indices follow the standard platform layout: private memory
+    ``arm``, shared memory ``num_arms``, semaphore ``num_arms + 1``,
+    interrupt device ``num_arms + 2``.
+    """
+    shape.validate()
+    rng = random.Random((shape.seed << 20) ^ (arm * 0x9E3779B1))
+    private = arm
+    shared = num_arms
+    semaphore = num_arms + 1
+    interrupt = num_arms + 2
+    stage = arm % shape.stages
+
+    for iteration in range(shape.iterations):
+        if shape.barrier_every and iteration % shape.barrier_every == 0:
+            yield Barrier(
+                semaphore, barrier_id=0, participants=num_arms, poll_cycles=45
+            )
+        # move into this core's temporal slot
+        offset = stage * shape.slot_cycles + rng.randrange(shape.jitter + 1)
+        if offset:
+            yield Compute(offset)
+
+        yield from _memory_block(
+            private, iteration, shape, stream=f"arm{arm}->pm{arm}"
+        )
+
+        if shape.desync_max_compute:
+            yield Compute(rng.randrange(shape.desync_max_compute + 1))
+
+        if shape.shared_every and iteration % shape.shared_every == arm % max(
+            1, shape.shared_every
+        ):
+            yield Lock(semaphore, lock_id=1, poll_cycles=30)
+            yield Read(shared, burst=shape.shared_burst,
+                       stream=f"arm{arm}->shared")
+            yield Write(shared, burst=shape.shared_burst,
+                        stream=f"arm{arm}->shared")
+            yield Unlock(semaphore, lock_id=1)
+
+        if (
+            shape.irq_every
+            and iteration % shape.irq_every == 0
+            and arm == (iteration // shape.irq_every) % num_arms
+        ):
+            yield Write(interrupt, burst=1, stream=f"arm{arm}->irq")
+
+
+def _memory_block(
+    private: int, iteration: int, shape: WorkloadShape, stream: str
+) -> Iterator[Operation]:
+    """The private-memory burst block of one iteration.
+
+    With alternation enabled, even blocks are write-heavy (tile
+    store-back: request-path payload) and odd blocks read-heavy (tile
+    load: response-path payload); otherwise reads and writes interleave.
+    """
+    if shape.write_phase_period:
+        writing = (iteration // shape.write_phase_period) % 2 == 0
+        op_class = Write if writing else Read
+        for _ in range(shape.accesses_per_iteration):
+            yield op_class(private, burst=shape.burst_words, stream=stream)
+            if shape.compute_between:
+                yield Compute(shape.compute_between)
+    else:
+        for index in range(shape.accesses_per_iteration):
+            op_class = Write if index % 2 == 0 else Read
+            yield op_class(private, burst=shape.burst_words, stream=stream)
+            if shape.compute_between:
+                yield Compute(shape.compute_between)

@@ -1,0 +1,56 @@
+"""Quick Sort suite (15 cores).
+
+Divide-and-conquer sorting: cores partition independent sub-arrays with
+data-dependent (random) pivot work between memory bursts and synchronize
+only occasionally, so their phases drift apart. Low mutual overlap and
+moderate bandwidth let three private-memory streams share each bus
+(15 cores -> 6 buses, the paper's 2.5x saving).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.descriptor import Application, standard_platform
+from repro.apps.programs import WorkloadShape, phased_program
+
+__all__ = ["build_qsort"]
+
+_QSORT_ARMS = 6  # 6 ARMs -> 15 cores
+
+_QSORT_SHAPE = WorkloadShape(
+    iterations=34,
+    stages=3,
+    slot_cycles=440,
+    accesses_per_iteration=40,
+    burst_words=8,
+    write_phase_period=1,
+    compute_between=0,
+    barrier_every=8,  # rare global synchronization
+    desync_max_compute=160,  # data-dependent pivot work
+    shared_every=6,
+    shared_burst=4,
+    irq_every=10,
+    jitter=64,
+    seed=23,
+)
+
+
+def build_qsort(critical_targets: Sequence[int] = (), seed: int = 23) -> Application:
+    """Quick Sort suite: 6 ARMs, 15 cores (paper Table 2 row 'QSort')."""
+    shape = WorkloadShape(**{**_QSORT_SHAPE.__dict__, "seed": seed})
+    config = standard_platform(_QSORT_ARMS, critical_targets=critical_targets,
+                               seed=seed)
+    builders = tuple(
+        (lambda arm=arm: phased_program(arm, _QSORT_ARMS, shape))
+        for arm in range(_QSORT_ARMS)
+    )
+    period_estimate = shape.stages * shape.slot_cycles + 500
+    return Application(
+        name="qsort",
+        config=config,
+        program_builders=builders,
+        sim_cycles=shape.iterations * period_estimate + 12_000,
+        default_window=1_000,
+        description="divide-and-conquer quicksort partitions (15 cores)",
+    )

@@ -1,0 +1,41 @@
+"""Application registry: name -> builder."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.apps.des import build_des
+from repro.apps.descriptor import Application
+from repro.apps.fft import build_fft
+from repro.apps.matrix import build_mat1, build_mat2
+from repro.apps.qsort import build_qsort
+from repro.apps.synthetic import build_synthetic
+from repro.errors import ApplicationError
+
+__all__ = ["APPLICATIONS", "build_application"]
+
+APPLICATIONS: Dict[str, Callable[..., Application]] = {
+    "mat1": build_mat1,
+    "mat2": build_mat2,
+    "fft": build_fft,
+    "qsort": build_qsort,
+    "des": build_des,
+    "synthetic": build_synthetic,
+}
+"""Builders for every benchmark in the paper's evaluation."""
+
+
+def build_application(name: str, **kwargs) -> Application:
+    """Build a benchmark application by registry name.
+
+    Extra keyword arguments are forwarded to the specific builder (e.g.
+    ``critical_targets`` or, for ``synthetic``, ``burst_cycles``).
+    """
+    try:
+        builder = APPLICATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(APPLICATIONS))
+        raise ApplicationError(
+            f"unknown application {name!r}; available: {known}"
+        ) from None
+    return builder(**kwargs)

@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+The CLI wraps the library's main entry points for quick exploration::
+
+    python -m repro list
+    python -m repro design mat2 --window 1000 --threshold 0.3
+    python -m repro compare des
+    python -m repro trace mat2 -o mat2.jsonl
+    python -m repro sweep-window --burst 1000
+
+All commands print plain-text tables (see :mod:`repro.analysis.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import compare_designs, format_table, window_size_sweep
+from repro.apps import APPLICATIONS, build_application
+from repro.apps.synthetic import synthetic_trace
+from repro.core import (
+    CrossbarSynthesizer,
+    SynthesisConfig,
+    average_traffic_design,
+    full_crossbar_design,
+    shared_bus_design,
+)
+from repro.errors import ReproError
+from repro.traffic import save_trace_jsonl
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Application-specific STbus crossbar generation "
+        "(Murali & De Micheli, DATE 2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the bundled benchmark applications")
+
+    design = sub.add_parser(
+        "design", help="run the synthesis flow on an application"
+    )
+    design.add_argument("app", help="application name (see 'list')")
+    design.add_argument(
+        "--window", type=int, default=None,
+        help="analysis window in cycles (default: app-specific)",
+    )
+    design.add_argument(
+        "--threshold", type=float, default=0.3,
+        help="overlap threshold as a fraction of the window (0..0.5)",
+    )
+    design.add_argument(
+        "--maxtb", type=int, default=4,
+        help="max targets per bus (0 disables the limit)",
+    )
+    design.add_argument(
+        "--backend", choices=("assignment", "milp"), default="assignment",
+        help="feasibility/binding solver backend",
+    )
+    design.add_argument(
+        "--validate", action="store_true",
+        help="re-simulate the designed crossbar and report latency",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="evaluate shared / average-traffic / windowed / full designs",
+    )
+    compare.add_argument("app", help="application name")
+
+    trace = sub.add_parser(
+        "trace", help="dump an application's full-crossbar trace as JSONL"
+    )
+    trace.add_argument("app", help="application name")
+    trace.add_argument("-o", "--output", required=True, help="output path")
+
+    sweep = sub.add_parser(
+        "sweep-window",
+        help="crossbar size vs window size on the synthetic benchmark",
+    )
+    sweep.add_argument("--burst", type=int, default=1_000)
+    sweep.add_argument(
+        "--windows", type=int, nargs="+",
+        default=[200, 500, 1_000, 2_000, 4_000, 20_000],
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = []
+    for name in sorted(APPLICATIONS):
+        app = build_application(name)
+        rows.append(
+            [name, app.num_initiators, app.num_targets, app.num_cores,
+             app.description]
+        )
+    print(
+        format_table(
+            ["name", "initiators", "targets", "cores", "description"], rows
+        )
+    )
+    return 0
+
+
+def _config_from_args(args) -> SynthesisConfig:
+    return SynthesisConfig(
+        window_size=args.window,
+        overlap_threshold=args.threshold,
+        max_targets_per_bus=args.maxtb or None,
+        backend=args.backend,
+    )
+
+
+def _cmd_design(args) -> int:
+    app = build_application(args.app)
+    synthesizer = CrossbarSynthesizer(_config_from_args(args))
+    print(f"designing crossbars for {app.name} ({app.num_cores} cores) ...")
+    full_run = app.simulate_full_crossbar()
+    report = synthesizer.design(app, trace=full_run.trace)
+    print(report.summary())
+    print("\nIT binding:")
+    for bus in range(report.design.it.num_buses):
+        names = [
+            full_run.trace.target_names[t]
+            for t in report.design.it.targets_on_bus(bus)
+        ]
+        print(f"  bus {bus}: {', '.join(names)}")
+    print("TI binding:")
+    for bus in range(report.design.ti.num_buses):
+        names = [
+            full_run.trace.initiator_names[i]
+            for i in report.design.ti.targets_on_bus(bus)
+        ]
+        print(f"  bus {bus}: {', '.join(names)}")
+    if args.validate:
+        validation = synthesizer.validate(
+            app, report.design, max_cycles=app.sim_cycles * 4
+        )
+        full_stats = full_run.latency_stats()
+        designed_stats = validation.latency_stats()
+        print(
+            format_table(
+                ["design", "buses", "avg lat (cy)", "max lat (cy)"],
+                [
+                    ["full", app.num_cores, full_stats.mean,
+                     full_stats.maximum],
+                    ["designed", report.design.bus_count,
+                     designed_stats.mean, designed_stats.maximum],
+                ],
+                title="\nvalidation",
+            )
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    app = build_application(args.app)
+    trace = app.simulate_full_crossbar().trace
+    windowed = CrossbarSynthesizer().design(app, trace=trace).design
+    designs = [
+        shared_bus_design(trace),
+        average_traffic_design(trace),
+        windowed,
+        full_crossbar_design(trace),
+    ]
+    evaluations = compare_designs(app, designs)
+    full_stats = evaluations["full"].stats
+    rows = [
+        [
+            label,
+            evaluations[label].bus_count,
+            evaluations[label].stats.mean,
+            evaluations[label].stats.maximum,
+            evaluations[label].stats.mean / full_stats.mean,
+        ]
+        for label in ("shared", "average-traffic", "windowed", "full")
+    ]
+    print(
+        format_table(
+            ["design", "buses", "avg lat (cy)", "max lat (cy)", "avg vs full"],
+            rows,
+            title=f"design comparison on {app.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    app = build_application(args.app)
+    result = app.simulate_full_crossbar()
+    save_trace_jsonl(result.trace, args.output)
+    print(
+        f"wrote {len(result.trace)} records "
+        f"({result.trace.total_cycles} cycles) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_sweep_window(args) -> int:
+    trace = synthetic_trace(
+        burst_cycles=args.burst, total_cycles=max(80_000, args.burst * 40)
+    )
+    points = window_size_sweep(
+        trace, args.windows, SynthesisConfig(max_targets_per_bus=None)
+    )
+    print(
+        format_table(
+            ["window (cy)", "IT buses", "TI buses", "total"],
+            [
+                [int(point.value), point.it_buses, point.ti_buses,
+                 point.total_buses]
+                for point in points
+            ],
+            title=f"window sweep (synthetic, burst ~{args.burst} cy)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "design":
+            return _cmd_design(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "sweep-window":
+            return _cmd_sweep_window(args)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Application-specific STbus crossbar synthesis (the paper's contribution).
+
+The design flow (paper Fig. 3) is implemented end to end:
+
+1. **Traffic collection** -- simulate the application on a full crossbar
+   (:mod:`repro.platform`) and window the trace (:mod:`repro.traffic`).
+2. **Pre-processing** (:mod:`repro.core.preprocess`) -- build the conflict
+   matrix (Eq. 2) from the overlap threshold and overlapping real-time
+   streams.
+3. **Configuration search** (:mod:`repro.core.search`) -- binary-search
+   the minimum bus count whose feasibility problem (Eqs. 3-9 / MILP1,
+   Eq. 10) admits a solution.
+4. **Optimal binding** (:mod:`repro.core.binding`) -- minimize the
+   maximum per-bus traffic overlap (MILP2, Eq. 11).
+
+Two interchangeable exact solvers answer the feasibility/binding
+problems: a specialized branch-and-bound assignment solver
+(:mod:`repro.core.assignment`, the fast default) and the literal MILP
+formulation (:mod:`repro.core.formulation`) solved with
+:mod:`repro.milp`. Baseline design styles from prior work (average-traffic
+and contention-free peak design, random binding) live in
+:mod:`repro.core.baselines`.
+"""
+
+from repro.core.spec import BusBinding, CrossbarDesign, SynthesisConfig
+from repro.core.problem import CrossbarDesignProblem
+from repro.core.preprocess import ConflictAnalysis, build_conflicts
+from repro.core.search import search_minimum_buses
+from repro.core.binding import optimize_binding, random_feasible_binding
+from repro.core.synthesis import CrossbarSynthesizer, SynthesisReport
+from repro.core.baselines import (
+    average_traffic_design,
+    full_crossbar_design,
+    peak_bandwidth_design,
+    shared_bus_design,
+)
+from repro.core.validate import audit_binding
+
+__all__ = [
+    "SynthesisConfig",
+    "BusBinding",
+    "CrossbarDesign",
+    "CrossbarDesignProblem",
+    "ConflictAnalysis",
+    "build_conflicts",
+    "search_minimum_buses",
+    "optimize_binding",
+    "random_feasible_binding",
+    "CrossbarSynthesizer",
+    "SynthesisReport",
+    "average_traffic_design",
+    "peak_bandwidth_design",
+    "full_crossbar_design",
+    "shared_bus_design",
+    "audit_binding",
+]

@@ -1,0 +1,171 @@
+"""End-to-end crossbar synthesis flow (paper Fig. 3).
+
+:class:`CrossbarSynthesizer` drives all four phases for both crossbars of
+an application:
+
+1. full-crossbar simulation (traffic collection),
+2. window segmentation + overlap/criticality extraction,
+3. pre-processing into the conflict matrix,
+4. configuration search + optimal binding, then a validation simulation
+   on the designed crossbar.
+
+The target->initiator crossbar is designed by running the identical
+pipeline on the mirrored trace (responses to initiators), per the
+paper's "designed in a similar fashion".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.apps.descriptor import Application
+from repro.core.binding import optimize_binding
+from repro.core.preprocess import ConflictAnalysis, build_conflicts
+from repro.core.problem import CrossbarDesignProblem
+from repro.core.search import SearchOutcome, search_minimum_buses
+from repro.core.spec import BusBinding, CrossbarDesign, SynthesisConfig
+from repro.core.validate import audit_binding
+from repro.platform.soc import SimulationResult
+from repro.traffic.trace import TrafficTrace
+
+__all__ = ["SideReport", "SynthesisReport", "CrossbarSynthesizer"]
+
+
+@dataclass(frozen=True)
+class SideReport:
+    """Diagnostics of one crossbar side's synthesis."""
+
+    problem: CrossbarDesignProblem
+    conflicts: ConflictAnalysis
+    search: SearchOutcome
+    binding: BusBinding
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Complete record of one synthesis run."""
+
+    design: CrossbarDesign
+    it_report: SideReport
+    ti_report: SideReport
+    trace: TrafficTrace
+    config: SynthesisConfig
+
+    def summary(self) -> str:
+        """Human-readable multi-line description of the outcome."""
+        lines = [
+            f"designed crossbar: {self.design.it.num_buses} IT buses + "
+            f"{self.design.ti.num_buses} TI buses = {self.design.bus_count}",
+            f"  window size: {self.it_report.problem.window_size} cycles, "
+            f"overlap threshold: {self.config.overlap_threshold:.0%}",
+            f"  IT conflicts: {self.it_report.conflicts.num_conflicts}, "
+            f"search probes: {self.it_report.search.probes}",
+            f"  TI conflicts: {self.ti_report.conflicts.num_conflicts}, "
+            f"search probes: {self.ti_report.search.probes}",
+            f"  max bus overlap (IT/TI): {self.design.it.max_bus_overlap}"
+            f"/{self.design.ti.max_bus_overlap} cycles",
+        ]
+        return "\n".join(lines)
+
+
+class CrossbarSynthesizer:
+    """The paper's design methodology, bundled behind one entry point.
+
+    Example
+    -------
+    >>> from repro.apps import build_application
+    >>> from repro.core import CrossbarSynthesizer, SynthesisConfig
+    >>> app = build_application("mat2")
+    >>> synthesizer = CrossbarSynthesizer(SynthesisConfig())
+    >>> report = synthesizer.design(app)          # doctest: +SKIP
+    >>> report.design.bus_count                   # doctest: +SKIP
+    6
+    """
+
+    def __init__(self, config: Optional[SynthesisConfig] = None) -> None:
+        self.config = config or SynthesisConfig()
+
+    def design(
+        self,
+        application: Application,
+        trace: Optional[TrafficTrace] = None,
+    ) -> SynthesisReport:
+        """Run the full four-phase flow for an application.
+
+        ``trace`` short-circuits Phase 1 when a full-crossbar trace is
+        already available (e.g. the synthetic benchmark).
+        """
+        if trace is None:
+            trace = application.simulate_full_crossbar().trace
+        window = self.config.window_size or application.default_window
+        return self.design_from_trace(trace, window)
+
+    def design_from_trace(
+        self, trace: TrafficTrace, window_size: Optional[int] = None
+    ) -> SynthesisReport:
+        """Phases 2-4 for both crossbars, from a full-crossbar trace.
+
+        With ``config.variable_windows`` the analysis uses phase-aligned
+        variable windows (the nominal window as the maximum size); the
+        mirrored trace gets its own boundaries, since response phases
+        need not line up with request phases.
+        """
+        window = window_size or self.config.window_size or 1_000
+        it_report = self._design_side(self._problem_for(trace, window))
+        ti_report = self._design_side(
+            self._problem_for(trace.mirrored(), window)
+        )
+        design = CrossbarDesign(
+            it=it_report.binding, ti=ti_report.binding, label="windowed"
+        )
+        return SynthesisReport(
+            design=design,
+            it_report=it_report,
+            ti_report=ti_report,
+            trace=trace,
+            config=self.config,
+        )
+
+    def _problem_for(
+        self, trace: TrafficTrace, window: int
+    ) -> CrossbarDesignProblem:
+        if not self.config.variable_windows:
+            return CrossbarDesignProblem.from_trace(trace, window)
+        from repro.traffic.qos import phase_aligned_boundaries
+
+        boundaries = phase_aligned_boundaries(
+            trace,
+            min_window=max(1, window // self.config.variable_window_ratio),
+            max_window=window,
+        )
+        return CrossbarDesignProblem.from_trace_boundaries(trace, boundaries)
+
+    def _design_side(self, problem: CrossbarDesignProblem) -> SideReport:
+        conflicts = build_conflicts(problem, self.config)
+        search = search_minimum_buses(problem, conflicts, self.config)
+        binding = optimize_binding(
+            problem, conflicts, search.num_buses, self.config
+        )
+        audit_binding(
+            problem,
+            conflicts,
+            binding.binding,
+            self.config.max_targets_per_bus,
+            raise_on_violation=True,
+        )
+        return SideReport(
+            problem=problem, conflicts=conflicts, search=search, binding=binding
+        )
+
+    def validate(
+        self,
+        application: Application,
+        design: CrossbarDesign,
+        max_cycles: Optional[int] = None,
+    ) -> SimulationResult:
+        """Phase 4's closing step: simulate the app on the designed
+        crossbar."""
+        return application.simulate(
+            design.it.as_list(), design.ti.as_list(), max_cycles
+        )

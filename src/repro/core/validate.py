@@ -1,0 +1,82 @@
+"""Post-synthesis audit of a binding against the design constraints.
+
+Every designed binding is re-checked against the paper's constraint set
+(Eqs. 3, 4, 7, 8) directly from the problem data -- an independent path
+from both solvers, used by the synthesis flow as a safety net and by the
+test suite as an oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.preprocess import ConflictAnalysis
+from repro.core.problem import CrossbarDesignProblem
+from repro.errors import ValidationError
+
+__all__ = ["audit_binding"]
+
+
+def audit_binding(
+    problem: CrossbarDesignProblem,
+    conflicts: ConflictAnalysis,
+    binding: Sequence[int],
+    max_targets_per_bus: Optional[int] = None,
+    raise_on_violation: bool = False,
+) -> List[str]:
+    """Check a binding against Eqs. 3-9; return violation descriptions.
+
+    With ``raise_on_violation`` a non-empty result raises
+    :class:`~repro.errors.ValidationError` instead.
+    """
+    violations: List[str] = []
+    num_targets = problem.num_targets
+
+    if len(binding) != num_targets:
+        violations.append(
+            f"binding covers {len(binding)} targets, problem has {num_targets}"
+        )
+    else:
+        num_buses = max(binding) + 1
+        # Eq. 3 is structural (one bus per target) given the list shape;
+        # dense numbering is required by the platform.
+        if set(binding) != set(range(num_buses)):
+            violations.append(f"bus numbering not dense: {tuple(binding)}")
+
+        # Eq. 4: window bandwidth per bus (per-window capacities).
+        for bus in range(num_buses):
+            members = [t for t, b in enumerate(binding) if b == bus]
+            load = problem.comm[members].sum(axis=0)
+            overflow = load > problem.capacities
+            if overflow.any():
+                worst = int(np.argmax(load - problem.capacities))
+                violations.append(
+                    f"bus {bus} carries {int(load[worst])} cycles in window "
+                    f"{worst} of capacity {int(problem.capacities[worst])} "
+                    f"(targets {members})"
+                )
+
+        # Eq. 7: conflicts separated.
+        for (i, j) in conflicts.reasons:
+            if binding[i] == binding[j]:
+                rules = ",".join(sorted(conflicts.reasons[i, j]))
+                violations.append(
+                    f"conflicting targets {i} and {j} share bus {binding[i]} "
+                    f"({rules})"
+                )
+
+        # Eq. 8: maxtb.
+        if max_targets_per_bus is not None:
+            for bus in range(num_buses):
+                size = sum(1 for b in binding if b == bus)
+                if size > max_targets_per_bus:
+                    violations.append(
+                        f"bus {bus} holds {size} targets "
+                        f"(maxtb={max_targets_per_bus})"
+                    )
+
+    if violations and raise_on_violation:
+        raise ValidationError("; ".join(violations))
+    return violations

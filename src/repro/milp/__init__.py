@@ -1,0 +1,36 @@
+"""Mixed-integer linear programming substrate.
+
+The paper solves its crossbar feasibility and binding formulations with
+ILOG CPLEX. This subpackage is the offline stand-in: a small modeling
+layer (:class:`~repro.milp.model.Model`), a pure-Python two-phase simplex
+LP solver (:mod:`repro.milp.simplex`), a branch-and-bound MILP solver
+(:mod:`repro.milp.branch_bound`) that can use either the built-in simplex
+or scipy's HiGHS for LP relaxations, and solution/status objects.
+
+The solvers are exact on the problem sizes the paper works with (at most
+32 targets, a few thousand binaries) and are validated against brute-force
+enumeration and scipy in the test suite.
+"""
+
+from repro.milp.expr import LinExpr, Variable, VarType
+from repro.milp.model import Constraint, Model, Sense
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.simplex import SimplexResult, solve_lp_simplex
+from repro.milp.scipy_backend import solve_lp_scipy
+from repro.milp.branch_bound import BranchBoundOptions, solve_milp
+
+__all__ = [
+    "Variable",
+    "VarType",
+    "LinExpr",
+    "Model",
+    "Constraint",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "SimplexResult",
+    "solve_lp_simplex",
+    "solve_lp_scipy",
+    "solve_milp",
+    "BranchBoundOptions",
+]

@@ -1,0 +1,190 @@
+"""Branch-and-bound MILP solver.
+
+Classic LP-relaxation branch and bound with:
+
+* best-first node selection (by relaxation bound, FIFO among ties),
+* most-fractional branching,
+* incumbent-based pruning with absolute gap tolerance,
+* optional *feasibility mode* (stop at the first integral solution),
+  matching the paper's MILP1, which has no objective function,
+* pluggable LP engine (built-in simplex or scipy HiGHS).
+
+The solver is exact; node and iteration limits exist only as safety rails
+and are reported through the solution status when hit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.milp.model import Model
+from repro.milp.simplex import LPStatus, SimplexResult, solve_lp_simplex
+from repro.milp.solution import Solution, SolveStatus
+
+__all__ = ["BranchBoundOptions", "solve_milp"]
+
+LPEngine = Callable[..., SimplexResult]
+
+_INT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class BranchBoundOptions:
+    """Tuning knobs for :func:`solve_milp`.
+
+    Attributes
+    ----------
+    lp_engine:
+        ``"scipy"`` (default, HiGHS) or ``"simplex"`` (pure Python).
+    node_limit:
+        Maximum number of explored nodes before giving up.
+    feasibility_only:
+        Stop at the first integer-feasible solution; used for the paper's
+        MILP1 (Eq. 10), which performs a pure feasibility check.
+    absolute_gap:
+        Prune nodes whose bound is within this of the incumbent.
+    """
+
+    lp_engine: str = "scipy"
+    node_limit: int = 200_000
+    feasibility_only: bool = False
+    absolute_gap: float = 1e-6
+
+    def resolve_engine(self) -> LPEngine:
+        """Return the LP relaxation solver callable."""
+        if self.lp_engine == "scipy":
+            from repro.milp.scipy_backend import solve_lp_scipy
+
+            return solve_lp_scipy
+        if self.lp_engine == "simplex":
+            return solve_lp_simplex
+        raise SolverError(f"unknown LP engine {self.lp_engine!r}")
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    order: int
+    overrides: Dict[int, Tuple[float, float]] = field(compare=False)
+
+
+def solve_milp(model: Model, options: Optional[BranchBoundOptions] = None) -> Solution:
+    """Solve ``model`` to optimality (or first feasible point) by B&B."""
+    options = options or BranchBoundOptions()
+    engine = options.resolve_engine()
+    form = model.to_standard_form()
+    integer_indices = np.nonzero(form.integer_mask)[0]
+
+    def relax(overrides: Dict[int, Tuple[float, float]]) -> SimplexResult:
+        sub = model.to_standard_form(bound_overrides=overrides)
+        return engine(
+            sub.objective, sub.a_ub, sub.b_ub, sub.a_eq, sub.b_eq,
+            sub.lower, sub.upper,
+        )
+
+    root = relax({})
+    if root.status is LPStatus.INFEASIBLE:
+        return Solution(SolveStatus.INFEASIBLE, nodes=1)
+    if root.status is LPStatus.UNBOUNDED:
+        # With all integers bounded this still means the continuous part
+        # is unbounded, hence the MILP is unbounded or infeasible; report
+        # unbounded as linprog does.
+        return Solution(SolveStatus.UNBOUNDED, nodes=1)
+
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf
+    heap: list[_Node] = [_Node(root.objective, 0, {})]
+    lp_cache: Dict[int, SimplexResult] = {0: root}
+    nodes_explored = 0
+    next_order = 1
+
+    while heap:
+        node = heapq.heappop(heap)
+        nodes_explored += 1
+        if nodes_explored > options.node_limit:
+            status = (
+                SolveStatus.FEASIBLE if incumbent_x is not None
+                else SolveStatus.NODE_LIMIT
+            )
+            return _finish(status, incumbent_x, incumbent_obj, form, nodes_explored)
+        if node.bound >= incumbent_obj - options.absolute_gap:
+            continue
+        relaxation = lp_cache.pop(node.order, None) or relax(node.overrides)
+        if relaxation.status is not LPStatus.OPTIMAL:
+            continue
+        if relaxation.objective >= incumbent_obj - options.absolute_gap:
+            continue
+        x = relaxation.x
+        fractional = _most_fractional(x, integer_indices)
+        if fractional is None:
+            incumbent_obj = relaxation.objective
+            incumbent_x = x
+            if options.feasibility_only:
+                return _finish(
+                    SolveStatus.OPTIMAL, incumbent_x, incumbent_obj, form,
+                    nodes_explored,
+                )
+            continue
+        index, value = fractional
+        floor_val = math.floor(value + _INT_TOL)
+        for new_bounds in (
+            (form.lower[index], float(floor_val)),
+            (float(floor_val + 1), form.upper[index]),
+        ):
+            if new_bounds[0] > new_bounds[1]:
+                continue
+            overrides = dict(node.overrides)
+            existing = overrides.get(index, (form.lower[index], form.upper[index]))
+            merged = (max(existing[0], new_bounds[0]), min(existing[1], new_bounds[1]))
+            if merged[0] > merged[1]:
+                continue
+            overrides[index] = merged
+            child = relax(overrides)
+            if child.status is not LPStatus.OPTIMAL:
+                continue
+            if child.objective >= incumbent_obj - options.absolute_gap:
+                continue
+            lp_cache[next_order] = child
+            heapq.heappush(heap, _Node(child.objective, next_order, overrides))
+            next_order += 1
+
+    if incumbent_x is None:
+        return Solution(SolveStatus.INFEASIBLE, nodes=nodes_explored)
+    return _finish(
+        SolveStatus.OPTIMAL, incumbent_x, incumbent_obj, form, nodes_explored
+    )
+
+
+def _most_fractional(
+    x: np.ndarray, integer_indices: np.ndarray
+) -> Optional[Tuple[int, float]]:
+    """Pick the integer variable farthest from integrality, if any."""
+    best_index = -1
+    best_distance = _INT_TOL
+    for index in integer_indices:
+        value = x[index]
+        distance = abs(value - round(value))
+        if distance > best_distance:
+            best_distance = distance
+            best_index = int(index)
+    if best_index < 0:
+        return None
+    return best_index, float(x[best_index])
+
+
+def _finish(status, x, objective, form, nodes) -> Solution:
+    if x is None:
+        return Solution(status, nodes=nodes)
+    values = {}
+    for var, value in zip(form.variables, x):
+        if var.is_integral:
+            values[var] = float(round(value))
+        else:
+            values[var] = float(value)
+    return Solution(status, objective=float(objective), values=values, nodes=nodes)

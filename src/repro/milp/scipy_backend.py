@@ -1,0 +1,46 @@
+"""LP relaxation backend using scipy's HiGHS.
+
+Functionally interchangeable with :mod:`repro.milp.simplex` (the tests
+assert agreement on random instances); HiGHS is much faster on the larger
+binding formulations, so branch-and-bound defaults to it when scipy is
+importable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+from repro.milp.simplex import LPStatus, SimplexResult
+
+__all__ = ["solve_lp_scipy"]
+
+
+def solve_lp_scipy(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> SimplexResult:
+    """Solve an LP with ``scipy.optimize.linprog`` (HiGHS method)."""
+    bounds = list(zip(lower, upper))
+    result = linprog(
+        c,
+        A_ub=a_ub if a_ub.size else None,
+        b_ub=b_ub if b_ub.size else None,
+        A_eq=a_eq if a_eq.size else None,
+        b_eq=b_eq if b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 0:
+        return SimplexResult(LPStatus.OPTIMAL, np.asarray(result.x), float(result.fun))
+    if result.status == 2:
+        return SimplexResult(LPStatus.INFEASIBLE, None, None)
+    if result.status == 3:
+        return SimplexResult(LPStatus.UNBOUNDED, None, None)
+    raise SolverError(f"linprog failed: status={result.status} ({result.message})")

@@ -1,0 +1,255 @@
+"""Pure-Python two-phase dense simplex LP solver.
+
+This is the dependency-free LP engine behind the branch-and-bound MILP
+solver (scipy's HiGHS can be swapped in for speed; results agree to
+tolerance, which the test suite verifies on random instances).
+
+The solver accepts the dense :class:`~repro.milp.model.StandardForm`
+layout::
+
+    minimize    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                lower <= x <= upper   (entries may be +/- inf)
+
+and reduces it to equality form with non-negative variables by shifting /
+splitting variables and adding slacks, then runs textbook two-phase
+primal simplex with Bland's anti-cycling rule on a dense tableau.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+
+__all__ = ["LPStatus", "SimplexResult", "solve_lp_simplex"]
+
+_TOL = 1e-9
+_MAX_ITERATIONS = 50_000
+
+
+class LPStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class SimplexResult:
+    """LP solve outcome: status, point and objective value."""
+
+    status: LPStatus
+    x: Optional[np.ndarray]
+    objective: Optional[float]
+
+
+def solve_lp_simplex(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> SimplexResult:
+    """Solve a bounded-variable LP with two-phase primal simplex."""
+    c = np.asarray(c, dtype=float)
+    num_original = c.size
+
+    # --- reduce general bounds to y >= 0 --------------------------------
+    # Each original variable x_j maps to an affine combination of one or
+    # two non-negative columns; `recover` rebuilds x from y.
+    columns = []  # per original var: (mode, payload)
+    extra_ub_rows = []  # (col_index_in_y, rhs) for finite ranges
+    offsets = np.zeros(num_original)
+    signs = []
+    y_count = 0
+    neg_parts = {}
+    for j in range(num_original):
+        lo, hi = lower[j], upper[j]
+        if lo > hi:
+            return SimplexResult(LPStatus.INFEASIBLE, None, None)
+        if np.isfinite(lo):
+            offsets[j] = lo
+            signs.append(1.0)
+            columns.append(y_count)
+            if np.isfinite(hi):
+                extra_ub_rows.append((y_count, hi - lo))
+            y_count += 1
+        elif np.isfinite(hi):
+            offsets[j] = hi
+            signs.append(-1.0)
+            columns.append(y_count)
+            y_count += 1
+        else:
+            offsets[j] = 0.0
+            signs.append(1.0)
+            columns.append(y_count)
+            neg_parts[j] = y_count + 1
+            y_count += 2
+
+    def expand(matrix: np.ndarray) -> np.ndarray:
+        """Map a constraint matrix over x to the y variable space."""
+        out = np.zeros((matrix.shape[0], y_count))
+        for j in range(num_original):
+            col = matrix[:, j]
+            out[:, columns[j]] += col * signs[j]
+            if j in neg_parts:
+                out[:, neg_parts[j]] -= col
+        return out
+
+    a_ub = np.asarray(a_ub, dtype=float).reshape(-1, num_original)
+    a_eq = np.asarray(a_eq, dtype=float).reshape(-1, num_original)
+    b_ub = np.asarray(b_ub, dtype=float) - a_ub @ offsets
+    b_eq = np.asarray(b_eq, dtype=float) - a_eq @ offsets
+
+    ub_matrix = expand(a_ub)
+    eq_matrix = expand(a_eq)
+    if extra_ub_rows:
+        bound_matrix = np.zeros((len(extra_ub_rows), y_count))
+        bound_rhs = np.zeros(len(extra_ub_rows))
+        for row, (col, rhs) in enumerate(extra_ub_rows):
+            bound_matrix[row, col] = 1.0
+            bound_rhs[row] = rhs
+        ub_matrix = np.vstack([ub_matrix, bound_matrix])
+        b_ub = np.concatenate([b_ub, bound_rhs])
+
+    cost = np.zeros(y_count)
+    for j in range(num_original):
+        cost[columns[j]] += c[j] * signs[j]
+        if j in neg_parts:
+            cost[neg_parts[j]] -= c[j]
+    offset_cost = float(c @ offsets)
+
+    # --- equality form with slacks --------------------------------------
+    num_ub = ub_matrix.shape[0]
+    num_eq = eq_matrix.shape[0]
+    num_rows = num_ub + num_eq
+    num_structural = y_count + num_ub  # y plus slack columns
+    a_full = np.zeros((num_rows, num_structural))
+    rhs = np.concatenate([b_ub, b_eq]) if num_rows else np.zeros(0)
+    if num_ub:
+        a_full[:num_ub, :y_count] = ub_matrix
+        a_full[:num_ub, y_count : y_count + num_ub] = np.eye(num_ub)
+    if num_eq:
+        a_full[num_ub:, :y_count] = eq_matrix
+    negative = rhs < 0
+    a_full[negative] *= -1
+    rhs = np.abs(rhs)
+
+    y_solution = _two_phase(a_full, rhs, np.concatenate([cost, np.zeros(num_ub)]))
+    if isinstance(y_solution, LPStatus):
+        return SimplexResult(y_solution, None, None)
+
+    x = offsets.copy()
+    for j in range(num_original):
+        x[j] += signs[j] * y_solution[columns[j]]
+        if j in neg_parts:
+            x[j] -= y_solution[neg_parts[j]]
+    return SimplexResult(LPStatus.OPTIMAL, x, float(c @ x))
+
+
+def _two_phase(a: np.ndarray, b: np.ndarray, cost: np.ndarray):
+    """Two-phase simplex on ``min cost@z s.t. a z = b, z >= 0, b >= 0``.
+
+    Returns the optimal ``z`` restricted to structural columns, or an
+    :class:`LPStatus` on infeasibility/unboundedness.
+    """
+    num_rows, num_structural = a.shape
+    if num_rows == 0:
+        if (cost < -_TOL).any():
+            return LPStatus.UNBOUNDED
+        return np.zeros(num_structural)
+
+    # Phase 1 tableau: structural columns, artificial basis, rhs.
+    tableau = np.zeros((num_rows, num_structural + num_rows + 1))
+    tableau[:, :num_structural] = a
+    tableau[:, num_structural : num_structural + num_rows] = np.eye(num_rows)
+    tableau[:, -1] = b
+    basis = list(range(num_structural, num_structural + num_rows))
+
+    phase1_cost = np.zeros(num_structural + num_rows)
+    phase1_cost[num_structural:] = 1.0
+    status = _optimize(tableau, basis, phase1_cost, allowed=num_structural + num_rows)
+    if status is LPStatus.UNBOUNDED:  # pragma: no cover - phase 1 is bounded
+        raise SolverError("phase-1 objective reported unbounded")
+    phase1_value = sum(
+        tableau[row, -1] for row, col in enumerate(basis) if col >= num_structural
+    )
+    if phase1_value > 1e-7:
+        return LPStatus.INFEASIBLE
+
+    _evict_artificials(tableau, basis, num_structural)
+
+    phase2_cost = np.concatenate([cost, np.full(num_rows, 0.0)])
+    status = _optimize(tableau, basis, phase2_cost, allowed=num_structural)
+    if status is LPStatus.UNBOUNDED:
+        return LPStatus.UNBOUNDED
+
+    z = np.zeros(num_structural)
+    for row, col in enumerate(basis):
+        if col < num_structural:
+            z[col] = tableau[row, -1]
+    return z
+
+
+def _optimize(tableau, basis, cost, allowed) -> Optional[LPStatus]:
+    """Run simplex iterations in place with Bland's rule.
+
+    ``allowed`` bounds the columns eligible to enter the basis (used to
+    exclude artificial columns in phase 2).
+    """
+    num_rows = tableau.shape[0]
+    for _ in range(_MAX_ITERATIONS):
+        reduced = cost.copy()
+        for row, col in enumerate(basis):
+            if cost[col]:
+                reduced -= cost[col] * tableau[row, :-1]
+        entering = -1
+        for col in range(allowed):
+            if reduced[col] < -1e-9:
+                entering = col
+                break
+        if entering < 0:
+            return None
+        ratios = []
+        for row in range(num_rows):
+            coef = tableau[row, entering]
+            if coef > _TOL:
+                ratios.append((tableau[row, -1] / coef, basis[row], row))
+        if not ratios:
+            return LPStatus.UNBOUNDED
+        _, _, pivot_row = min(ratios)
+        _pivot(tableau, basis, pivot_row, entering)
+    raise SolverError("simplex iteration limit exceeded")
+
+
+def _pivot(tableau, basis, row, col) -> None:
+    tableau[row] /= tableau[row, col]
+    for other in range(tableau.shape[0]):
+        if other != row and abs(tableau[other, col]) > 1e-12:
+            tableau[other] -= tableau[other, col] * tableau[row]
+    basis[row] = col
+
+
+def _evict_artificials(tableau, basis, num_structural) -> None:
+    """Pivot basic artificials (at value zero) out of the basis."""
+    for row, col in enumerate(basis):
+        if col < num_structural:
+            continue
+        pivot_col = -1
+        for candidate in range(num_structural):
+            if abs(tableau[row, candidate]) > 1e-7:
+                pivot_col = candidate
+                break
+        if pivot_col >= 0:
+            _pivot(tableau, basis, row, pivot_col)
+        # else: the row is linearly dependent; the artificial stays basic
+        # at zero, contributing nothing to the solution.

@@ -1,0 +1,56 @@
+"""MILP solution and status objects."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.milp.expr import Variable
+
+__all__ = ["SolveStatus", "Solution"]
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a MILP solve."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # stopped early with an incumbent (node limit)
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node-limit"  # stopped early without an incumbent
+
+
+@dataclass
+class Solution:
+    """Result of :func:`repro.milp.branch_bound.solve_milp`.
+
+    Attributes
+    ----------
+    status:
+        Solve outcome; values are meaningful only for ``OPTIMAL`` and
+        ``FEASIBLE``.
+    objective:
+        Objective value of the returned point.
+    values:
+        Mapping from variable to its value (integers are exact).
+    nodes:
+        Number of branch-and-bound nodes explored.
+    """
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: Dict[Variable, float] = field(default_factory=dict)
+    nodes: int = 0
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether a usable assignment is available."""
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+    def __getitem__(self, var: Variable) -> float:
+        return self.values[var]
+
+    def value(self, var: Variable, default: float = 0.0) -> float:
+        """Value of ``var`` or ``default`` when absent."""
+        return self.values.get(var, default)

@@ -1,0 +1,60 @@
+"""Frequency and data-width interface adapters.
+
+STbus crossbars interconnect heterogeneous cores through type-converter
+and size-converter components. The model captures their two first-order
+timing effects:
+
+* ``width_ratio`` -- a narrow core interface stretches each payload word
+  over more bus beats (a 0.5-width target doubles payload cycles),
+* ``extra_cycles`` -- pipeline registers in the adapter add fixed latency
+  to every traversal.
+
+Adapters are attached per core in the SoC configuration; the SoC applies
+the request-path adapter of the *target* and the response-path adapter of
+the *initiator*, which is where STbus places the converters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AdapterConfig", "IDENTITY_ADAPTER"]
+
+
+@dataclass(frozen=True)
+class AdapterConfig:
+    """Timing behaviour of one interface adapter.
+
+    ``width_ratio`` is bus-width / core-width: values above 1 mean the
+    core is narrower than the bus and payload beats multiply accordingly.
+    """
+
+    width_ratio: float = 1.0
+    extra_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width_ratio <= 0:
+            raise ConfigurationError(
+                f"adapter width_ratio must be positive, got {self.width_ratio}"
+            )
+        if self.extra_cycles < 0:
+            raise ConfigurationError(
+                f"adapter extra_cycles must be >= 0, got {self.extra_cycles}"
+            )
+
+    def adjust_payload(self, payload_cycles: int) -> int:
+        """Payload beats after width conversion."""
+        if self.width_ratio == 1.0:
+            return payload_cycles
+        return math.ceil(payload_cycles * self.width_ratio)
+
+    def traversal_overhead(self) -> int:
+        """Fixed pipeline cycles added per traversal."""
+        return self.extra_cycles
+
+
+IDENTITY_ADAPTER = AdapterConfig()
+"""A pass-through adapter (same width, no extra latency)."""

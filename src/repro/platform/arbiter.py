@@ -1,0 +1,72 @@
+"""Bus arbitration policies.
+
+STbus nodes support several arbitration schemes; the three that matter
+for the paper's experiments are modeled:
+
+* ``fixed-priority`` -- lower initiator index wins (STbus "fixed" mode),
+* ``round-robin`` -- rotating priority over owners (STbus "variable
+  priority" flavour), stateful per bus,
+* ``fifo`` -- grant in arrival order (STbus "latency-based" approximation
+  with zero latency targets).
+
+Each factory returns a fresh policy callable compatible with
+:class:`repro.sim.resource.Resource`, so every bus gets independent
+arbiter state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.resource import Request, fifo_policy, priority_policy
+
+__all__ = ["make_arbiter", "ARBITRATION_POLICIES"]
+
+
+def _fixed_priority_policy(pending: Sequence[Request]) -> Request:
+    """Lowest owner index wins; FIFO among equal owners."""
+    return min(pending, key=lambda req: (req.owner, req.arrival, req.sequence))
+
+
+class _RoundRobinArbiter:
+    """Rotating-priority arbitration with per-bus state.
+
+    After granting owner ``k``, owners ``k+1, k+2, ...`` (mod the highest
+    owner index seen) take precedence next time, preventing starvation of
+    high-index initiators under fixed priority.
+    """
+
+    def __init__(self) -> None:
+        self._last_owner = -1
+
+    def __call__(self, pending: Sequence[Request]) -> Request:
+        def rotation_key(request: Request):
+            owner = request.owner if isinstance(request.owner, int) else 0
+            distance = owner - self._last_owner
+            if distance <= 0:
+                distance += 1 << 20  # wrap: owners at/below last go last
+            return (distance, request.arrival, request.sequence)
+
+        chosen = min(pending, key=rotation_key)
+        if isinstance(chosen.owner, int):
+            self._last_owner = chosen.owner
+        return chosen
+
+
+ARBITRATION_POLICIES = ("fixed-priority", "round-robin", "fifo", "priority")
+
+
+def make_arbiter(name: str) -> Callable[[Sequence[Request]], Request]:
+    """Create a fresh arbitration policy instance by name."""
+    if name == "fixed-priority":
+        return _fixed_priority_policy
+    if name == "round-robin":
+        return _RoundRobinArbiter()
+    if name == "fifo":
+        return fifo_policy
+    if name == "priority":
+        return priority_policy
+    raise ConfigurationError(
+        f"unknown arbitration policy {name!r}; choose from {ARBITRATION_POLICIES}"
+    )

@@ -1,0 +1,84 @@
+"""A single STbus bus.
+
+A bus serializes transfers: one holder at a time, chosen by the attached
+arbiter. The :meth:`Bus.transfer` generator encapsulates the STbus grant
+protocol -- request, registered-arbiter delay, occupancy, release -- and
+is yielded from initiator/target processes.
+
+Busy intervals are logged so utilization statistics and demand timelines
+can be reconstructed after simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource
+
+__all__ = ["Bus"]
+
+
+class Bus:
+    """An arbitrated bus with occupancy bookkeeping.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    name:
+        Human-readable identifier (e.g. ``"it-bus2"``).
+    policy:
+        Arbitration policy (see :mod:`repro.platform.arbiter`).
+    arbitration_cycles:
+        Registered-arbiter delay paid after each grant, before the data
+        beats start (the bus is held during this turnaround).
+    """
+
+    def __init__(self, engine: Engine, name: str, policy, arbitration_cycles: int) -> None:
+        self._engine = engine
+        self._resource = Resource(
+            engine, capacity=1, policy=policy, record_busy=True, name=name
+        )
+        self.name = name
+        self.arbitration_cycles = arbitration_cycles
+        self.transfers = 0
+
+    def transfer(self, owner: Any, occupancy: int):
+        """Generator: acquire, hold ``arb + occupancy`` cycles, release.
+
+        Yield from an initiator/target process. Returns the ``(grant,
+        release)`` cycle pair. The grant timestamp marks the start of the
+        bus hold (arbitration turnaround included), which is what the
+        traffic analysis measures as stream activity.
+        """
+        request = self._resource.acquire(owner=owner)
+        yield request.granted
+        grant = self._engine.now
+        yield self.arbitration_cycles + occupancy
+        self._resource.release(request)
+        self.transfers += 1
+        return grant, self._engine.now
+
+    @property
+    def busy_log(self) -> List[Tuple[int, int, Any]]:
+        """Completed holds as ``(grant, release, owner)`` tuples."""
+        return self._resource.busy_log
+
+    def busy_cycles(self) -> int:
+        """Total cycles the bus was held."""
+        return sum(end - start for start, end, _owner in self._resource.busy_log)
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` the bus was held."""
+        if total_cycles <= 0:
+            return 0.0
+        return self.busy_cycles() / float(total_cycles)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting for this bus."""
+        return self._resource.queue_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Bus {self.name} transfers={self.transfers}>"

@@ -1,0 +1,140 @@
+"""Crossbar fabrics built from bus bindings.
+
+Following the paper's STbus structure (Fig. 1), a design instantiates two
+crossbars:
+
+* the **initiator->target** crossbar: every initiator can reach every
+  bus; each *target* is bound to exactly one bus (``it_binding``),
+* the **target->initiator** crossbar: each *initiator* is bound to one
+  bus for the responses it receives (``ti_binding``).
+
+The three STbus instantiation modes are bindings of this one structure:
+a shared bus binds everything to a single bus on each side, a full
+crossbar gives every target (initiator) its own bus, and a partial
+crossbar is anything in between -- which is exactly what the synthesis
+flow produces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.platform.arbiter import make_arbiter
+from repro.platform.bus import Bus
+from repro.platform.transaction import TimingModel, Transaction
+from repro.sim.engine import Engine
+
+__all__ = [
+    "Fabric",
+    "full_crossbar_binding",
+    "shared_bus_binding",
+    "validate_binding",
+]
+
+
+def full_crossbar_binding(count: int) -> List[int]:
+    """One dedicated bus per core: binding ``[0, 1, ..., count-1]``."""
+    return list(range(count))
+
+
+def shared_bus_binding(count: int) -> List[int]:
+    """All cores on a single bus: binding ``[0, 0, ..., 0]``."""
+    return [0] * count
+
+
+def validate_binding(binding: Sequence[int], what: str) -> int:
+    """Check a binding is a surjection onto ``0..max_bus`` and return the
+    bus count."""
+    if not binding:
+        raise ConfigurationError(f"{what} binding must not be empty")
+    buses = set(binding)
+    if min(buses) < 0:
+        raise ConfigurationError(f"{what} binding contains a negative bus index")
+    bus_count = max(buses) + 1
+    missing = set(range(bus_count)) - buses
+    if missing:
+        raise ConfigurationError(
+            f"{what} binding leaves bus(es) {sorted(missing)} empty; "
+            f"renumber buses densely"
+        )
+    return bus_count
+
+
+class Fabric:
+    """The pair of STbus crossbars of one design.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    it_binding:
+        Target index -> IT bus index.
+    ti_binding:
+        Initiator index -> TI bus index.
+    timing:
+        Protocol phase costs.
+    arbitration:
+        Arbitration policy name (fresh arbiter state per bus).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        it_binding: Sequence[int],
+        ti_binding: Sequence[int],
+        timing: TimingModel,
+        arbitration: str = "fixed-priority",
+    ) -> None:
+        it_buses = validate_binding(it_binding, "initiator->target")
+        ti_buses = validate_binding(ti_binding, "target->initiator")
+        self.it_binding = list(it_binding)
+        self.ti_binding = list(ti_binding)
+        self.timing = timing
+        self.it_buses = [
+            Bus(engine, f"it-bus{k}", make_arbiter(arbitration),
+                timing.arbitration_cycles)
+            for k in range(it_buses)
+        ]
+        self.ti_buses = [
+            Bus(engine, f"ti-bus{k}", make_arbiter(arbitration),
+                timing.arbitration_cycles)
+            for k in range(ti_buses)
+        ]
+
+    @property
+    def num_targets(self) -> int:
+        """Number of targets served by the IT crossbar."""
+        return len(self.it_binding)
+
+    @property
+    def num_initiators(self) -> int:
+        """Number of initiators served by the TI crossbar."""
+        return len(self.ti_binding)
+
+    @property
+    def bus_count(self) -> int:
+        """Total buses across both crossbars (the paper's size metric)."""
+        return len(self.it_buses) + len(self.ti_buses)
+
+    def request_bus(self, transaction: Transaction) -> Bus:
+        """The IT bus that carries a transaction's request phase."""
+        return self.it_buses[self.it_binding[transaction.target]]
+
+    def response_bus(self, transaction: Transaction) -> Bus:
+        """The TI bus that carries a transaction's response phase."""
+        return self.ti_buses[self.ti_binding[transaction.initiator]]
+
+    def targets_on_bus(self, bus_index: int) -> List[int]:
+        """Targets bound to IT bus ``bus_index``."""
+        return [t for t, b in enumerate(self.it_binding) if b == bus_index]
+
+    def initiators_on_bus(self, bus_index: int) -> List[int]:
+        """Initiators bound to TI bus ``bus_index``."""
+        return [i for i, b in enumerate(self.ti_binding) if b == bus_index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Fabric IT {len(self.it_buses)} buses / "
+            f"TI {len(self.ti_buses)} buses>"
+        )

@@ -1,0 +1,147 @@
+"""Initiator (master) programs and the workload operation vocabulary.
+
+Initiators execute *programs*: plain Python iterables of operation
+objects. The vocabulary mirrors what the MPARM benchmark kernels do at
+the bus level:
+
+* :class:`Compute` -- busy-loop for N cycles (no bus traffic),
+* :class:`Read` / :class:`Write` -- a blocking burst access to a target,
+* :class:`Lock` / :class:`Unlock` -- spin-lock acquisition through a
+  semaphore target (polling reads, then a set write),
+* :class:`Barrier` -- barrier synchronization through a semaphore target
+  (an arrival write, then polling reads until the last core arrives).
+
+Lock/barrier *semantics* (who wins, when a barrier opens) are arbitrated
+by the SoC's synchronization managers so they are exact and deterministic,
+while the polling traffic on the semaphore target is simulated faithfully
+-- this reproduces the low-rate semaphore/interrupt streams the paper
+describes alongside the heavy private-memory streams.
+
+:func:`trace_replay_program` converts recorded traffic (e.g. a synthetic
+trace) back into a program, so any trace can be re-simulated on any
+candidate crossbar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import ApplicationError
+from repro.traffic.events import TraceRecord, TransactionKind
+
+__all__ = [
+    "Compute",
+    "Read",
+    "Write",
+    "Lock",
+    "Unlock",
+    "Barrier",
+    "Operation",
+    "trace_replay_program",
+]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute for ``cycles`` without touching the interconnect."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ApplicationError(f"compute cycles must be >= 0, got {self.cycles}")
+
+
+@dataclass(frozen=True)
+class Read:
+    """Blocking burst read of ``burst`` words from ``target``."""
+
+    target: int
+    burst: int = 1
+    critical: bool = False
+    stream: str = ""
+
+
+@dataclass(frozen=True)
+class Write:
+    """Blocking burst write of ``burst`` words to ``target``."""
+
+    target: int
+    burst: int = 1
+    critical: bool = False
+    stream: str = ""
+
+
+@dataclass(frozen=True)
+class Lock:
+    """Acquire lock ``lock_id`` hosted on semaphore target ``semaphore``.
+
+    The initiator issues a test read; if the manager reports the lock
+    taken, it retries every ``poll_cycles``. On success it writes the lock
+    word and proceeds.
+    """
+
+    semaphore: int
+    lock_id: int = 0
+    poll_cycles: int = 25
+
+
+@dataclass(frozen=True)
+class Unlock:
+    """Release lock ``lock_id`` on semaphore target ``semaphore``."""
+
+    semaphore: int
+    lock_id: int = 0
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Synchronize ``participants`` initiators at barrier ``barrier_id``.
+
+    Arrival is announced with a write to the semaphore target; the
+    initiator then polls with reads every ``poll_cycles`` until everyone
+    has arrived.
+    """
+
+    semaphore: int
+    barrier_id: int
+    participants: int
+    poll_cycles: int = 40
+
+
+Operation = Union[Compute, Read, Write, Lock, Unlock, Barrier]
+
+
+def trace_replay_program(
+    records: Iterable[TraceRecord],
+    pace: bool = True,
+) -> Iterator[Operation]:
+    """Turn one initiator's trace records back into a program.
+
+    With ``pace`` (default) the program inserts :class:`Compute` delays to
+    issue each access at its recorded issue cycle when possible; under
+    contention the program falls behind and issues back to back, modeling
+    a master with a queued workload. Without ``pace`` all accesses are
+    issued back to back.
+
+    The produced program tracks its own notion of time from the *recorded*
+    timestamps; the SoC clock may run later (never earlier) than this
+    when the new fabric is more congested than the one that produced the
+    trace.
+    """
+    ordered = sorted(records, key=lambda record: record.issue)
+    clock = 0
+    for record in ordered:
+        if pace and record.issue > clock:
+            yield Compute(record.issue - clock)
+            clock = record.issue
+        op_class = Read if record.kind is TransactionKind.READ else Write
+        yield op_class(
+            target=record.target,
+            burst=record.burst,
+            critical=record.critical,
+            stream=record.stream,
+        )
+        # account the uncontended duration so pacing stays approximate
+        clock = max(clock, record.complete)

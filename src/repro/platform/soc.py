@@ -1,0 +1,339 @@
+"""SoC assembly and simulation driver.
+
+A :class:`SoC` wires initiators, targets and the two STbus crossbars
+together, interprets each initiator's program, stamps every transaction
+phase, and returns a :class:`SimulationResult` holding the traffic trace
+plus fabric statistics.
+
+Synchronization (locks, barriers) is split between *semantics* --
+resolved deterministically by in-SoC managers -- and *traffic* -- the
+polling reads and set/arrival writes that hit the semaphore target on
+the bus, as the MPARM benchmarks do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ApplicationError, ConfigurationError, DeadlockError
+from repro.platform.adapters import IDENTITY_ADAPTER, AdapterConfig
+from repro.platform.fabric import Fabric
+from repro.platform.initiator import (
+    Barrier,
+    Compute,
+    Lock,
+    Operation,
+    Read,
+    Unlock,
+    Write,
+)
+from repro.platform.metrics import LatencyStats, summarize_latencies
+from repro.platform.target import TargetConfig, TargetPort
+from repro.platform.transaction import TimingModel, Transaction
+from repro.sim.engine import Engine
+from repro.sim.process import spawn
+from repro.traffic.events import TraceRecord, TransactionKind
+from repro.traffic.trace import TrafficTrace
+
+__all__ = ["SoCConfig", "SoC", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Static platform description, independent of the crossbar chosen.
+
+    Attributes
+    ----------
+    initiator_names:
+        One name per initiator (e.g. ``["arm0", ..., "arm8"]``).
+    targets:
+        One :class:`~repro.platform.target.TargetConfig` per target.
+    timing:
+        Bus protocol phase costs.
+    arbitration:
+        Arbitration policy name used by every bus.
+    initiator_adapters / target_adapters:
+        Optional per-core interface adapters (sparse maps by index).
+    seed:
+        Seed for the small amount of polling jitter; fixed seed gives
+        bit-identical reruns.
+    """
+
+    initiator_names: Sequence[str]
+    targets: Sequence[TargetConfig]
+    timing: TimingModel = TimingModel()
+    arbitration: str = "fixed-priority"
+    initiator_adapters: Dict[int, AdapterConfig] = field(default_factory=dict)
+    target_adapters: Dict[int, AdapterConfig] = field(default_factory=dict)
+    seed: int = 1
+
+    @property
+    def num_initiators(self) -> int:
+        return len(self.initiator_names)
+
+    @property
+    def num_targets(self) -> int:
+        return len(self.targets)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistencies."""
+        if not self.initiator_names or not self.targets:
+            raise ConfigurationError("SoC needs at least one initiator and target")
+        for index in self.initiator_adapters:
+            if not 0 <= index < self.num_initiators:
+                raise ConfigurationError(f"adapter for unknown initiator {index}")
+        for index in self.target_adapters:
+            if not 0 <= index < self.num_targets:
+                raise ConfigurationError(f"adapter for unknown target {index}")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one SoC simulation."""
+
+    trace: TrafficTrace
+    simulated_cycles: int
+    finished: bool
+    it_bus_count: int
+    ti_bus_count: int
+    it_utilization: List[float]
+    ti_utilization: List[float]
+
+    @property
+    def bus_count(self) -> int:
+        """Total buses across both crossbars (paper's size metric)."""
+        return self.it_bus_count + self.ti_bus_count
+
+    def latency_stats(self, critical_only: bool = False) -> LatencyStats:
+        """Packet latency statistics over the simulated transactions."""
+        samples = [
+            record.latency
+            for record in self.trace.records
+            if record.critical or not critical_only
+        ]
+        return summarize_latencies(samples)
+
+
+class SoC:
+    """A simulatable MPSoC instance: platform + crossbar + programs.
+
+    Parameters
+    ----------
+    config:
+        Platform description (cores, timing, arbitration).
+    it_binding / ti_binding:
+        Crossbar shape: target -> IT bus and initiator -> TI bus.
+    programs:
+        One operation iterable per initiator.
+    """
+
+    def __init__(
+        self,
+        config: SoCConfig,
+        it_binding: Sequence[int],
+        ti_binding: Sequence[int],
+        programs: Sequence[Iterable[Operation]],
+    ) -> None:
+        config.validate()
+        if len(it_binding) != config.num_targets:
+            raise ConfigurationError(
+                f"it_binding covers {len(it_binding)} targets, platform has "
+                f"{config.num_targets}"
+            )
+        if len(ti_binding) != config.num_initiators:
+            raise ConfigurationError(
+                f"ti_binding covers {len(ti_binding)} initiators, platform "
+                f"has {config.num_initiators}"
+            )
+        if len(programs) != config.num_initiators:
+            raise ConfigurationError(
+                f"{len(programs)} programs for {config.num_initiators} initiators"
+            )
+        self.config = config
+        self.engine = Engine()
+        self.fabric = Fabric(
+            self.engine, it_binding, ti_binding, config.timing, config.arbitration
+        )
+        self.ports = [TargetPort(self.engine, target) for target in config.targets]
+        self._programs = list(programs)
+        self._records: List[TraceRecord] = []
+        self._locks = _LockManager()
+        self._barriers = _BarrierManager()
+        self._processes = []
+
+    # -- simulation -----------------------------------------------------------
+
+    def run(self, max_cycles: int) -> SimulationResult:
+        """Simulate until all programs finish or ``max_cycles`` elapse."""
+        if max_cycles < 1:
+            raise ConfigurationError(f"max_cycles must be >= 1, got {max_cycles}")
+        self._processes = [
+            spawn(
+                self.engine,
+                self._interpret(index, iter(program)),
+                name=self.config.initiator_names[index],
+            )
+            for index, program in enumerate(self._programs)
+        ]
+        self.engine.run(until=max_cycles)
+        finished = all(process.finished for process in self._processes)
+        if not finished and self.engine.pending_events == 0:
+            stuck = [p.name for p in self._processes if not p.finished]
+            raise DeadlockError(
+                f"simulation deadlocked at cycle {self.engine.now}; "
+                f"stuck initiators: {stuck}"
+            )
+        total_cycles = max(self.engine.now, 1)
+        trace = TrafficTrace(
+            self._records,
+            num_initiators=self.config.num_initiators,
+            num_targets=self.config.num_targets,
+            total_cycles=total_cycles,
+            target_names=[target.name for target in self.config.targets],
+            initiator_names=list(self.config.initiator_names),
+        )
+        return SimulationResult(
+            trace=trace,
+            simulated_cycles=total_cycles,
+            finished=finished,
+            it_bus_count=len(self.fabric.it_buses),
+            ti_bus_count=len(self.fabric.ti_buses),
+            it_utilization=[
+                bus.utilization(total_cycles) for bus in self.fabric.it_buses
+            ],
+            ti_utilization=[
+                bus.utilization(total_cycles) for bus in self.fabric.ti_buses
+            ],
+        )
+
+    # -- program interpretation -------------------------------------------------
+
+    def _interpret(self, index: int, program):
+        """Process generator: execute one initiator's operation stream."""
+        jitter = random.Random((self.config.seed << 16) ^ index)
+        for op in program:
+            if isinstance(op, Compute):
+                if op.cycles:
+                    yield op.cycles
+            elif isinstance(op, (Read, Write)):
+                yield from self._access(index, op)
+            elif isinstance(op, Lock):
+                yield from self._acquire_lock(index, op, jitter)
+            elif isinstance(op, Unlock):
+                self._locks.release((op.semaphore, op.lock_id), index)
+                yield from self._access(
+                    index,
+                    Write(op.semaphore, 1, stream=f"unlock{op.lock_id}"),
+                )
+            elif isinstance(op, Barrier):
+                yield from self._wait_barrier(index, op, jitter)
+            else:
+                raise ApplicationError(
+                    f"initiator {index} produced unsupported operation {op!r}"
+                )
+
+    def _acquire_lock(self, index: int, op: Lock, jitter: random.Random):
+        key = (op.semaphore, op.lock_id)
+        while True:
+            yield from self._access(
+                index, Read(op.semaphore, 1, stream=f"lock{op.lock_id}")
+            )
+            if self._locks.try_acquire(key, index):
+                yield from self._access(
+                    index, Write(op.semaphore, 1, stream=f"lock{op.lock_id}")
+                )
+                return
+            yield op.poll_cycles + jitter.randrange(4)
+
+    def _wait_barrier(self, index: int, op: Barrier, jitter: random.Random):
+        key = (op.semaphore, op.barrier_id)
+        generation = self._barriers.arrive(key, op.participants)
+        yield from self._access(
+            index, Write(op.semaphore, 1, stream=f"barrier{op.barrier_id}")
+        )
+        while not self._barriers.released(key, generation):
+            yield op.poll_cycles + jitter.randrange(8)
+            yield from self._access(
+                index, Read(op.semaphore, 1, stream=f"barrier{op.barrier_id}")
+            )
+
+    def _access(self, index: int, op):
+        """Drive one transaction through request, service and response."""
+        kind = TransactionKind.READ if isinstance(op, Read) else TransactionKind.WRITE
+        target_config = self.config.targets[op.target]
+        transaction = Transaction(
+            initiator=index,
+            target=op.target,
+            kind=kind,
+            burst=op.burst,
+            critical=op.critical or target_config.critical,
+            stream=op.stream
+            or f"{self.config.initiator_names[index]}->{target_config.name}",
+        )
+        timing = self.config.timing
+        target_adapter = self.config.target_adapters.get(op.target, IDENTITY_ADAPTER)
+        initiator_adapter = self.config.initiator_adapters.get(
+            index, IDENTITY_ADAPTER
+        )
+        transaction.issue = self.engine.now
+
+        request_bus = self.fabric.request_bus(transaction)
+        grant, release = yield from request_bus.transfer(
+            index, timing.request_occupancy(kind, op.burst, target_adapter)
+        )
+        transaction.it_grant, transaction.it_release = grant, release
+
+        start, end = yield from self.ports[op.target].serve()
+        transaction.service_start, transaction.service_end = start, end
+
+        response_bus = self.fabric.response_bus(transaction)
+        grant, release = yield from response_bus.transfer(
+            op.target, timing.response_occupancy(kind, op.burst, initiator_adapter)
+        )
+        transaction.ti_grant, transaction.ti_release = grant, release
+        transaction.complete = self.engine.now
+        self._records.append(transaction.to_record())
+
+
+class _LockManager:
+    """Deterministic lock-semantics arbiter (traffic handled by the SoC)."""
+
+    def __init__(self) -> None:
+        self._owners: Dict[Tuple[int, int], Optional[int]] = {}
+
+    def try_acquire(self, key: Tuple[int, int], owner: int) -> bool:
+        if self._owners.get(key) is None:
+            self._owners[key] = owner
+            return True
+        return False
+
+    def release(self, key: Tuple[int, int], owner: int) -> None:
+        if self._owners.get(key) != owner:
+            raise ApplicationError(
+                f"initiator {owner} released lock {key} it does not hold"
+            )
+        self._owners[key] = None
+
+
+class _BarrierManager:
+    """Generation-counting barrier semantics."""
+
+    def __init__(self) -> None:
+        self._state: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    def arrive(self, key: Tuple[int, int], participants: int) -> int:
+        if participants < 1:
+            raise ApplicationError(f"barrier {key} needs >= 1 participants")
+        generation, arrived = self._state.get(key, (0, 0))
+        arrived += 1
+        if arrived >= participants:
+            self._state[key] = (generation + 1, 0)
+        else:
+            self._state[key] = (generation, arrived)
+        return generation
+
+    def released(self, key: Tuple[int, int], generation: int) -> bool:
+        current, _arrived = self._state.get(key, (0, 0))
+        return current > generation

@@ -1,0 +1,95 @@
+"""Target (slave) core models.
+
+Targets are memories and memory-like devices. Each serves one request at
+a time through a private port (concurrent requests queue at the target
+even on a full crossbar, as in a real single-ported SRAM), with a
+configurable number of wait states.
+
+Three kinds appear in the paper's MPSoCs:
+
+* ``MEMORY`` -- private or shared RAM,
+* ``SEMAPHORE`` -- lock words for inter-processor synchronization,
+* ``INTERRUPT`` -- the interrupt device used to signal between cores.
+
+The kinds differ only in default timing here; their *semantic* role
+(locks, barriers) is coordinated by the SoC's synchronization managers,
+which keep the semantics exact while the bus traffic stays faithful.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource, fifo_policy
+
+__all__ = ["TargetKind", "TargetConfig", "TargetPort"]
+
+
+class TargetKind(enum.Enum):
+    """Functional class of a target core."""
+
+    MEMORY = "memory"
+    SEMAPHORE = "semaphore"
+    INTERRUPT = "interrupt"
+
+
+@dataclass(frozen=True)
+class TargetConfig:
+    """Static description of one target.
+
+    Attributes
+    ----------
+    name:
+        Core name (e.g. ``"pm3"``, ``"shared"``, ``"sem"``).
+    kind:
+        Functional class; informs defaults and reporting.
+    service_cycles:
+        Wait states between request arrival and response readiness.
+    critical:
+        Whether traffic to this target is real-time (paper Sec. 7.3);
+        transactions to critical targets are flagged in the trace.
+    """
+
+    name: str
+    kind: TargetKind = TargetKind.MEMORY
+    service_cycles: int = 1
+    critical: bool = False
+
+    def __post_init__(self) -> None:
+        if self.service_cycles < 0:
+            raise ConfigurationError(
+                f"target {self.name!r} has negative service cycles"
+            )
+
+
+class TargetPort:
+    """Runtime state of a target: its single-served port."""
+
+    def __init__(self, engine: Engine, config: TargetConfig) -> None:
+        self.config = config
+        self._engine = engine
+        self._port = Resource(
+            engine, capacity=1, policy=fifo_policy, record_busy=True,
+            name=f"{config.name}-port",
+        )
+
+    def serve(self):
+        """Generator: occupy the port for the configured wait states.
+
+        Returns the ``(start, end)`` service interval.
+        """
+        request = self._port.acquire(owner=self.config.name)
+        yield request.granted
+        start = self._engine.now
+        if self.config.service_cycles:
+            yield self.config.service_cycles
+        self._port.release(request)
+        return start, self._engine.now
+
+    @property
+    def busy_log(self):
+        """Completed service intervals ``(start, end, owner)``."""
+        return self._port.busy_log

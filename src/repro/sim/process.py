@@ -1,0 +1,103 @@
+"""Generator-based cooperative processes.
+
+A process wraps a Python generator. Each ``yield`` suspends the process
+until the yielded *wait target* resolves:
+
+* ``int`` -- resume after that many cycles (``yield 0`` resumes later in
+  the same cycle, after already-scheduled events),
+* :class:`~repro.sim.engine.Event` -- resume when the event triggers; the
+  value sent back into the generator is the event's value,
+* :class:`Process` -- resume when the other process finishes; the value
+  sent back is that process's return value.
+
+This mirrors the structure of SystemC threads closely enough to express
+bus masters, arbiters and memory models naturally, while remaining plain
+Python.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event
+
+__all__ = ["Process", "spawn"]
+
+
+class Process:
+    """Drives a generator to completion on an :class:`Engine`.
+
+    The process starts automatically on the cycle it is created (at the
+    current simulation time). Its :attr:`done` event triggers when the
+    generator returns; the generator's return value becomes the event
+    value and :attr:`result`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        generator: Generator[Any, Any, Any],
+        name: str = "process",
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self._engine = engine
+        self._generator = generator
+        self.name = name
+        self.done = Event(engine)
+        engine.schedule(0, self._resume, None)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the wrapped generator has run to completion."""
+        return self.done.triggered
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (``None`` until finished)."""
+        return self.done.value
+
+    def _resume(self, sent_value: Any) -> None:
+        try:
+            wait_target = self._generator.send(sent_value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        self._wait_on(wait_target)
+
+    def _wait_on(self, wait_target: Any) -> None:
+        if isinstance(wait_target, int):
+            if wait_target < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay "
+                    f"({wait_target})"
+                )
+            self._engine.schedule(wait_target, self._resume, None)
+        elif isinstance(wait_target, Event):
+            wait_target.add_callback(self._on_event)
+        elif isinstance(wait_target, Process):
+            wait_target.done.add_callback(self._on_event)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported wait target "
+                f"{wait_target!r} (expected int, Event or Process)"
+            )
+
+    def _on_event(self, event: Event) -> None:
+        self._resume(event.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+def spawn(
+    engine: Engine,
+    generator: Generator[Any, Any, Any],
+    name: Optional[str] = None,
+) -> Process:
+    """Create and start a :class:`Process` for ``generator``."""
+    return Process(engine, generator, name or getattr(generator, "__name__", "process"))

@@ -1,0 +1,180 @@
+"""Arbitrated resources.
+
+A :class:`Resource` models a piece of hardware that serves one holder at a
+time (or ``capacity`` holders): a bus, a memory port, an adapter. Waiters
+request the resource and receive an :class:`~repro.sim.engine.Event` that
+triggers when they are granted. When the resource frees up, a pluggable
+*grant policy* chooses the next holder from the pending requests -- this is
+where bus arbitration plugs in (see :mod:`repro.platform.arbiter`).
+
+The resource also keeps an optional log of ``(start, end, owner)`` busy
+intervals, which the traffic-analysis layer uses to reconstruct per-target
+activity timelines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event
+
+__all__ = ["Request", "Resource", "fifo_policy", "priority_policy"]
+
+
+class Request:
+    """A pending or granted claim on a :class:`Resource`.
+
+    Attributes
+    ----------
+    owner:
+        Arbitrary identifier of the requester (e.g. an initiator index).
+        Grant policies may use it to implement priority schemes.
+    priority:
+        Smaller values are more urgent under :func:`priority_policy`.
+    arrival:
+        Cycle at which the request was made.
+    granted:
+        Event that triggers when the resource is granted to this request.
+    """
+
+    __slots__ = ("owner", "priority", "arrival", "sequence", "granted", "grant_time")
+
+    def __init__(
+        self,
+        owner: Any,
+        priority: int,
+        arrival: int,
+        sequence: int,
+        granted: Event,
+    ) -> None:
+        self.owner = owner
+        self.priority = priority
+        self.arrival = arrival
+        self.sequence = sequence
+        self.granted = granted
+        self.grant_time: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Request owner={self.owner!r} priority={self.priority} "
+            f"arrival={self.arrival}>"
+        )
+
+
+GrantPolicy = Callable[[Sequence[Request]], Request]
+
+
+def fifo_policy(pending: Sequence[Request]) -> Request:
+    """Grant the oldest request (ties broken by submission order)."""
+    return min(pending, key=lambda req: (req.arrival, req.sequence))
+
+
+def priority_policy(pending: Sequence[Request]) -> Request:
+    """Grant the most urgent request; FIFO among equal priorities."""
+    return min(pending, key=lambda req: (req.priority, req.arrival, req.sequence))
+
+
+class Resource:
+    """A ``capacity``-server resource with pluggable arbitration.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine that owns this resource.
+    capacity:
+        Number of simultaneous holders (1 for a bus).
+    policy:
+        Grant policy choosing among pending requests; default FIFO.
+    record_busy:
+        When true, completed holds are logged as ``(start, end, owner)``
+        tuples in :attr:`busy_log`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: int = 1,
+        policy: GrantPolicy = fifo_policy,
+        record_busy: bool = False,
+        name: str = "resource",
+    ) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self._engine = engine
+        self._capacity = capacity
+        self._policy = policy
+        self._pending: List[Request] = []
+        self._holders: List[Request] = []
+        self._sequence = 0
+        self.name = name
+        self.record_busy = record_busy
+        self.busy_log: List[Tuple[int, int, Any]] = []
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of simultaneous holders."""
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Number of current holders."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a grant."""
+        return len(self._pending)
+
+    def acquire(self, owner: Any = None, priority: int = 0) -> Request:
+        """Request the resource.
+
+        Returns the :class:`Request`; wait on ``request.granted`` to learn
+        when the hold begins. The grant (if capacity is free) is scheduled
+        for the *current* cycle but delivered through the event queue, so
+        competing requests issued in the same cycle are arbitrated
+        together by the policy.
+        """
+        request = Request(
+            owner=owner,
+            priority=priority,
+            arrival=self._engine.now,
+            sequence=self._sequence,
+            granted=Event(self._engine),
+        )
+        self._sequence += 1
+        self._pending.append(request)
+        self._engine.schedule(0, self._dispatch)
+        return request
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted hold and re-arbitrate."""
+        if request not in self._holders:
+            raise SimulationError(
+                f"release of {request!r} which does not hold {self.name!r}"
+            )
+        self._holders.remove(request)
+        if self.record_busy and request.grant_time is not None:
+            self.busy_log.append((request.grant_time, self._engine.now, request.owner))
+        self._engine.schedule(0, self._dispatch)
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a pending (not yet granted) request."""
+        if request in self._pending:
+            self._pending.remove(request)
+        elif request in self._holders:
+            raise SimulationError("cannot cancel a granted request; release it")
+
+    def _dispatch(self) -> None:
+        while self._pending and len(self._holders) < self._capacity:
+            chosen = self._policy(self._pending)
+            self._pending.remove(chosen)
+            self._holders.append(chosen)
+            chosen.grant_time = self._engine.now
+            chosen.granted.succeed(chosen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Resource {self.name!r} {self.in_use}/{self._capacity} held, "
+            f"{self.queue_length} waiting>"
+        )

@@ -1,0 +1,62 @@
+"""Real-time (critical) stream analysis.
+
+The paper's pre-processing phase (Sec. 7.3) identifies critical traffic
+streams that overlap in any window; the targets of such streams must be
+placed on different buses so that each stream can be given a latency
+guarantee. This module derives those forbidden pairs from a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.traffic.overlap import PairwiseOverlap
+from repro.traffic.windows import WindowedTraffic
+
+__all__ = ["CriticalityReport", "analyze_criticality"]
+
+
+@dataclass(frozen=True)
+class CriticalityReport:
+    """Outcome of the real-time stream analysis.
+
+    Attributes
+    ----------
+    critical_targets:
+        Targets that receive at least one critical transaction.
+    conflicting_pairs:
+        Target pairs whose *critical* traffic overlaps in at least one
+        window; these must not share a bus (feeds conflict matrix Eq. 2).
+    """
+
+    critical_targets: Tuple[int, ...] = field(default=())
+    conflicting_pairs: Tuple[Tuple[int, int], ...] = field(default=())
+
+    @property
+    def has_conflicts(self) -> bool:
+        """Whether any pair of critical streams requires separation."""
+        return bool(self.conflicting_pairs)
+
+
+def analyze_criticality(windowed: WindowedTraffic) -> CriticalityReport:
+    """Find critical targets and their overlap-induced conflicts.
+
+    Two critical streams conflict as soon as they overlap *at all* in some
+    window (threshold zero): any sharing could delay a real-time packet,
+    so the paper forbids co-location outright.
+    """
+    trace = windowed.trace
+    critical_targets = tuple(trace.critical_targets())
+    if len(critical_targets) < 2:
+        return CriticalityReport(critical_targets=critical_targets)
+    critical_overlap = PairwiseOverlap(windowed, critical_only=True)
+    conflicting: List[Tuple[int, int]] = []
+    for idx, i in enumerate(critical_targets):
+        for j in critical_targets[idx + 1 :]:
+            if critical_overlap.max_window_overlap(i, j) > 0:
+                conflicting.append((i, j))
+    return CriticalityReport(
+        critical_targets=critical_targets,
+        conflicting_pairs=tuple(conflicting),
+    )

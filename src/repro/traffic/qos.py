@@ -1,0 +1,94 @@
+"""Variable-window boundary derivation (the paper's future work).
+
+The conclusions announce "the effect of using variable simulation window
+sizes for the design for guaranteeing Quality-of-Service". The idea:
+fixed windows straddle burst boundaries arbitrarily -- a window half
+inside a burst dilutes its demand, a window spanning two phases blurs
+their overlap. *Phase-aligned* windows instead cut the timeline where
+the aggregate traffic actually changes, giving fine windows across busy
+phases (tight QoS control) and coarse windows across idle stretches (no
+over-design from quiet time).
+
+:func:`phase_aligned_boundaries` derives such boundaries from a trace:
+
+1. take the union of all target activity timelines (the system's busy
+   intervals),
+2. place boundaries at the edges of idle gaps at least ``min_gap``
+   cycles long,
+3. split any over-long segment to at most ``max_window`` cycles and
+   merge over-short ones to at least ``min_window``.
+
+The result feeds :class:`~repro.traffic.windows.WindowedTraffic` via its
+``boundaries`` parameter and flows through the whole synthesis stack
+(per-window capacities replace the scalar ``WS`` everywhere).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import WindowError
+from repro.traffic.intervals import normalize
+from repro.traffic.trace import TrafficTrace
+
+__all__ = ["phase_aligned_boundaries"]
+
+
+def phase_aligned_boundaries(
+    trace: TrafficTrace,
+    min_window: int = 200,
+    max_window: int = 4_000,
+    min_gap: int = 64,
+) -> List[int]:
+    """Derive variable window boundaries aligned to traffic phases.
+
+    Returns a strictly increasing edge list starting at 0 and ending at
+    ``trace.total_cycles``. Window sizes are soft-bounded: at least
+    ``min_window`` (the final window may be shorter when the trace is)
+    and at most ``max_window + min_window`` (phase alignment wins over
+    exact equality; splitting and merging round at phase edges).
+    """
+    if min_window < 1 or max_window < min_window:
+        raise WindowError(
+            f"need 1 <= min_window <= max_window, got {min_window}, "
+            f"{max_window}"
+        )
+    busy: List = []
+    for target in range(trace.num_targets):
+        busy.extend(trace.target_activity(target))
+    busy = normalize(busy)
+
+    # candidate cut points: edges of long idle gaps
+    candidates = {0, trace.total_cycles}
+    previous_end = 0
+    for start, end in busy:
+        if start - previous_end >= min_gap:
+            candidates.add(previous_end)
+            candidates.add(start)
+        previous_end = end
+
+    edges = sorted(c for c in candidates if 0 <= c <= trace.total_cycles)
+
+    # split over-long windows
+    split: List[int] = [edges[0]]
+    for edge in edges[1:]:
+        span = edge - split[-1]
+        if span > max_window:
+            pieces = int(np.ceil(span / max_window))
+            step = span / pieces
+            for piece in range(1, pieces):
+                split.append(split[-1] + int(round(step)))
+        split.append(edge)
+
+    # merge over-short windows (never drop the final edge)
+    merged: List[int] = [split[0]]
+    for edge in split[1:-1]:
+        if edge - merged[-1] >= min_window:
+            merged.append(edge)
+    if split[-1] - merged[-1] < min_window and len(merged) > 1:
+        merged.pop()
+    merged.append(split[-1])
+
+    return merged

@@ -1,0 +1,208 @@
+"""Traffic trace container.
+
+A :class:`TrafficTrace` is the product of Phase 1 of the design flow: the
+application simulated on a *full* crossbar, where every target owns a
+dedicated initiator->target bus, so each bus-occupancy interval reflects
+the stream's true demand rather than contention artifacts.
+
+The trace exposes per-target activity timelines (normalized interval
+lists) for total and critical-only traffic, which the windowing and
+overlap layers consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.traffic.events import TraceRecord
+from repro.traffic.intervals import Interval, normalize, total_length
+
+__all__ = ["TrafficTrace"]
+
+
+class TrafficTrace:
+    """An immutable collection of trace records plus platform metadata.
+
+    Parameters
+    ----------
+    records:
+        Completed transactions, in any order.
+    num_initiators / num_targets:
+        Core counts of the platform that produced the trace.
+    total_cycles:
+        Length of the simulation period. Must cover every record.
+    target_names / initiator_names:
+        Optional human-readable core names for reporting.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[TraceRecord],
+        num_initiators: int,
+        num_targets: int,
+        total_cycles: int,
+        target_names: Optional[Sequence[str]] = None,
+        initiator_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if num_initiators < 1 or num_targets < 1:
+            raise TraceError("platform must have at least one initiator and target")
+        if total_cycles < 1:
+            raise TraceError(f"total_cycles must be positive, got {total_cycles}")
+        for record in records:
+            if record.target >= num_targets:
+                raise TraceError(
+                    f"record references target {record.target} but trace has "
+                    f"{num_targets} targets"
+                )
+            if record.initiator >= num_initiators:
+                raise TraceError(
+                    f"record references initiator {record.initiator} but trace "
+                    f"has {num_initiators} initiators"
+                )
+            if record.complete > total_cycles:
+                raise TraceError(
+                    f"record completes at {record.complete}, beyond the "
+                    f"simulation period of {total_cycles} cycles"
+                )
+        self._records = sorted(records, key=lambda rec: (rec.issue, rec.it_grant))
+        self.num_initiators = num_initiators
+        self.num_targets = num_targets
+        self.total_cycles = int(total_cycles)
+        self.target_names = list(
+            target_names or (f"t{idx}" for idx in range(num_targets))
+        )
+        self.initiator_names = list(
+            initiator_names or (f"i{idx}" for idx in range(num_initiators))
+        )
+        if len(self.target_names) != num_targets:
+            raise TraceError("target_names length does not match num_targets")
+        if len(self.initiator_names) != num_initiators:
+            raise TraceError("initiator_names length does not match num_initiators")
+        self._target_activity: Dict[Tuple[int, bool], List[Interval]] = {}
+        self._initiator_activity: Dict[Tuple[int, bool], List[Interval]] = {}
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All trace records, sorted by issue cycle."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records_to_target(self, target: int) -> List[TraceRecord]:
+        """All records whose destination is ``target``."""
+        self._check_target(target)
+        return [rec for rec in self._records if rec.target == target]
+
+    def records_from_initiator(self, initiator: int) -> List[TraceRecord]:
+        """All records issued by ``initiator``."""
+        self._check_initiator(initiator)
+        return [rec for rec in self._records if rec.initiator == initiator]
+
+    def target_activity(self, target: int, critical_only: bool = False) -> List[Interval]:
+        """Normalized IT-bus busy intervals of the stream to ``target``.
+
+        With ``critical_only`` the timeline is restricted to transactions
+        flagged as real-time (paper Sec. 7.3).
+        """
+        self._check_target(target)
+        key = (target, critical_only)
+        if key not in self._target_activity:
+            self._target_activity[key] = normalize(
+                (rec.it_grant, rec.it_release)
+                for rec in self._records
+                if rec.target == target and (rec.critical or not critical_only)
+            )
+        return self._target_activity[key]
+
+    def initiator_activity(
+        self, initiator: int, critical_only: bool = False
+    ) -> List[Interval]:
+        """Normalized TI-bus busy intervals of responses to ``initiator``.
+
+        This is the mirror-image timeline used to design the
+        target->initiator crossbar: on that crossbar, buses are shared by
+        *initiators*, so the relevant stream is the response traffic each
+        initiator receives.
+        """
+        self._check_initiator(initiator)
+        key = (initiator, critical_only)
+        if key not in self._initiator_activity:
+            self._initiator_activity[key] = normalize(
+                (rec.ti_grant, rec.ti_release)
+                for rec in self._records
+                if rec.initiator == initiator and (rec.critical or not critical_only)
+            )
+        return self._initiator_activity[key]
+
+    def target_busy_cycles(self, target: int) -> int:
+        """Total cycles during which ``target`` received request traffic."""
+        return total_length(self.target_activity(target))
+
+    def critical_targets(self) -> List[int]:
+        """Targets that receive at least one critical transaction."""
+        found = sorted({rec.target for rec in self._records if rec.critical})
+        return found
+
+    def latencies(self) -> List[int]:
+        """Per-transaction packet latencies, in record order."""
+        return [rec.latency for rec in self._records]
+
+    def mirrored(self) -> "TrafficTrace":
+        """A view of the trace with initiator and target roles swapped.
+
+        The returned trace treats each *initiator* as a pseudo-target whose
+        activity is the response traffic it receives (``ti_grant`` ..
+        ``ti_release``). Feeding the mirrored trace through the same
+        windowing/synthesis pipeline designs the target->initiator
+        crossbar, exactly as the paper prescribes ("the target-initiator
+        crossbar can be designed in a similar fashion").
+        """
+        mirrored_records = [
+            TraceRecord(
+                initiator=rec.target,
+                target=rec.initiator,
+                kind=rec.kind,
+                burst=rec.burst,
+                issue=rec.issue,
+                it_grant=rec.ti_grant,
+                it_release=rec.ti_release,
+                service_start=rec.ti_release,
+                service_end=rec.ti_release,
+                ti_grant=rec.ti_release,
+                ti_release=rec.ti_release,
+                complete=rec.complete,
+                critical=rec.critical,
+                stream=rec.stream,
+            )
+            for rec in self._records
+        ]
+        return TrafficTrace(
+            mirrored_records,
+            num_initiators=self.num_targets,
+            num_targets=self.num_initiators,
+            total_cycles=self.total_cycles,
+            target_names=self.initiator_names,
+            initiator_names=self.target_names,
+        )
+
+    def _check_target(self, target: int) -> None:
+        if not 0 <= target < self.num_targets:
+            raise TraceError(
+                f"target index {target} out of range [0, {self.num_targets})"
+            )
+
+    def _check_initiator(self, initiator: int) -> None:
+        if not 0 <= initiator < self.num_initiators:
+            raise TraceError(
+                f"initiator index {initiator} out of range "
+                f"[0, {self.num_initiators})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TrafficTrace {len(self._records)} records, "
+            f"{self.num_initiators} initiators, {self.num_targets} targets, "
+            f"{self.total_cycles} cycles>"
+        )

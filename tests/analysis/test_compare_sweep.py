@@ -1,0 +1,121 @@
+"""Integration tests for design comparison and parameter sweeps."""
+
+import pytest
+
+from repro.analysis import (
+    compare_designs,
+    overlap_threshold_sweep,
+    window_size_sweep,
+)
+from repro.analysis.sweep import acceptable_window_search
+from repro.apps import build_application
+from repro.apps.synthetic import build_synthetic, synthetic_trace
+from repro.core import (
+    CrossbarSynthesizer,
+    SynthesisConfig,
+    full_crossbar_design,
+    shared_bus_design,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_synthetic():
+    """A fast synthetic benchmark for sweep tests."""
+    trace = synthetic_trace(
+        burst_cycles=400, total_cycles=24_000, num_initiators=6,
+        num_targets=6, seed=5,
+    )
+    return trace
+
+
+class TestCompareDesigns:
+    @pytest.fixture(scope="class")
+    def mat2_setup(self):
+        app = build_application("mat2")
+        trace = app.simulate_full_crossbar().trace
+        return app, trace
+
+    def test_shared_vs_full_ordering(self, mat2_setup):
+        app, trace = mat2_setup
+        evaluations = compare_designs(
+            app, [shared_bus_design(trace), full_crossbar_design(trace)]
+        )
+        shared, full = evaluations["shared"], evaluations["full"]
+        assert shared.finished and full.finished
+        assert shared.stats.mean > 2 * full.stats.mean
+        assert shared.stats.maximum > full.stats.maximum
+        assert shared.size_ratio_vs_shared == pytest.approx(1.0)
+        assert full.size_ratio_vs_shared == pytest.approx(10.5)
+
+    def test_relative_latency(self, mat2_setup):
+        app, trace = mat2_setup
+        evaluations = compare_designs(
+            app, [shared_bus_design(trace), full_crossbar_design(trace)]
+        )
+        mean_ratio, max_ratio = evaluations["shared"].relative_latency(
+            evaluations["full"]
+        )
+        assert mean_ratio > 2
+        assert max_ratio > 1
+
+
+class TestWindowSweep:
+    def test_size_decreases_with_window(self, small_synthetic):
+        points = window_size_sweep(
+            small_synthetic,
+            [100, 800, small_synthetic.total_cycles],
+            SynthesisConfig(max_targets_per_bus=None),
+        )
+        sizes = [point.total_buses for point in points]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+        assert points[0].value == 100
+
+    def test_tiny_window_approaches_full(self, small_synthetic):
+        points = window_size_sweep(
+            small_synthetic, [64], SynthesisConfig(max_targets_per_bus=None)
+        )
+        # nearly one bus per active target on the IT side
+        assert points[0].it_buses >= 4
+
+
+class TestThresholdSweep:
+    def test_size_decreases_with_threshold(self, small_synthetic):
+        points = overlap_threshold_sweep(
+            small_synthetic,
+            [0.0, 0.25, 0.5],
+            window_size=800,
+            config=SynthesisConfig(max_targets_per_bus=None),
+        )
+        sizes = [point.it_buses for point in points]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_zero_threshold_separates_overlapping_streams(self, small_synthetic):
+        strict = overlap_threshold_sweep(
+            small_synthetic, [0.0], window_size=800,
+            config=SynthesisConfig(max_targets_per_bus=None),
+        )[0]
+        relaxed = overlap_threshold_sweep(
+            small_synthetic, [0.5], window_size=800,
+            config=SynthesisConfig(max_targets_per_bus=None),
+        )[0]
+        assert strict.it_buses > relaxed.it_buses
+
+
+class TestAcceptableWindow:
+    def test_returns_candidate_meeting_bound(self):
+        app = build_synthetic(
+            burst_cycles=400, total_cycles=24_000, seed=5
+        )
+        trace = app.simulate_full_crossbar().trace
+        window = acceptable_window_search(
+            app, trace, [400, 1_600], max_latency_ratio=3.0,
+            config=SynthesisConfig(max_targets_per_bus=None),
+        )
+        assert window in (0, 400, 1_600)
+
+    def test_empty_candidates_rejected(self):
+        app = build_synthetic(burst_cycles=400, total_cycles=24_000)
+        trace = app.simulate_full_crossbar().trace
+        with pytest.raises(ConfigurationError):
+            acceptable_window_search(app, trace, [])

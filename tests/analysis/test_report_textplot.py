@@ -1,0 +1,73 @@
+"""Unit tests for table formatting and ASCII charts."""
+
+import pytest
+
+from repro.analysis import bar_chart, format_table, xy_plot
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_floats_rounded(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.14" in text
+        assert "3.1416" not in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart(["zero", "one"], [0.0, 1.0])
+        assert "#" not in chart.splitlines()[0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_title_and_unit(self):
+        chart = bar_chart(["a"], [1.5], title="sizes", unit="x")
+        assert chart.splitlines()[0] == "sizes"
+        assert "1.5x" in chart
+
+
+class TestXYPlot:
+    def test_contains_all_points(self):
+        plot = xy_plot([0, 1, 2], [0, 1, 2], height=5, width=11)
+        assert plot.count("*") == 3
+
+    def test_monotone_series_descends_visually(self):
+        plot = xy_plot([0, 1], [0, 10], height=4, width=8)
+        rows = [line for line in plot.splitlines() if line.startswith("|")]
+        # larger y appears on an earlier (higher) row
+        first_star = next(i for i, row in enumerate(rows) if "*" in row)
+        last_star = max(i for i, row in enumerate(rows) if "*" in row)
+        assert first_star < last_star
+
+    def test_ranges_in_footer(self):
+        plot = xy_plot([1, 5], [2, 8], x_label="burst", y_label="window")
+        assert "burst: 1 .. 5" in plot
+        assert "window max=8" in plot
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xy_plot([1], [1, 2])
+
+    def test_degenerate_single_point(self):
+        plot = xy_plot([3], [4])
+        assert plot.count("*") == 1

@@ -1,0 +1,99 @@
+"""Integration tests for the five benchmark suites and the registry."""
+
+import pytest
+
+from repro.apps import APPLICATIONS, build_application
+from repro.errors import ApplicationError
+from repro.traffic import WindowedTraffic
+
+# (name, paper core count, ARM count)
+PAPER_SIZES = [
+    ("mat1", 25, 11),
+    ("mat2", 21, 9),
+    ("fft", 29, 13),
+    ("qsort", 15, 6),
+    ("des", 19, 8),
+]
+
+
+class TestRegistry:
+    def test_all_paper_benchmarks_registered(self):
+        for name, _, _ in PAPER_SIZES:
+            assert name in APPLICATIONS
+        assert "synthetic" in APPLICATIONS
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ApplicationError):
+            build_application("doom")
+
+    @pytest.mark.parametrize("name,cores,arms", PAPER_SIZES)
+    def test_core_counts_match_paper(self, name, cores, arms):
+        app = build_application(name)
+        assert app.num_cores == cores
+        assert app.num_initiators == arms
+        assert app.num_targets == cores - arms
+
+
+class TestBenchmarkTraffic:
+    @pytest.fixture(scope="class")
+    def mat2_result(self):
+        return build_application("mat2").simulate_full_crossbar()
+
+    def test_simulation_completes(self, mat2_result):
+        assert mat2_result.finished
+        assert len(mat2_result.trace) > 1_000
+
+    def test_common_targets_see_much_less_traffic(self, mat2_result):
+        # Paper Sec 7.1: shared/sem/irq accesses are much lower than PMs.
+        trace = mat2_result.trace
+        pm_busy = [trace.target_busy_cycles(t) for t in range(9)]
+        common_busy = [trace.target_busy_cycles(t) for t in (9, 11)]
+        assert min(pm_busy) > 2 * max(common_busy)
+
+    def test_private_memories_only_accessed_by_owner(self, mat2_result):
+        for record in mat2_result.trace.records:
+            if record.target < 9:  # private memories
+                assert record.initiator == record.target
+
+    def test_same_stage_cores_overlap_more_than_cross_stage(self, mat2_result):
+        from repro.traffic import PairwiseOverlap
+
+        windowed = WindowedTraffic(mat2_result.trace, window_size=1_000)
+        overlap = PairwiseOverlap(windowed)
+        om = overlap.overlap_matrix
+        # stage = arm % 3: pm0 and pm3 share a stage; pm0 and pm1 do not.
+        same_stage = om[0, 3]
+        cross_stage = om[0, 1]
+        assert same_stage > 3 * max(1, cross_stage)
+
+    def test_bandwidth_lower_bound_matches_paper_shape(self, mat2_result):
+        # Mat2's designed IT crossbar has 3 buses (paper Sec. 7.1).
+        windowed = WindowedTraffic(mat2_result.trace, window_size=1_000)
+        assert windowed.min_buses_bandwidth_bound() == 3
+
+    def test_determinism(self):
+        app = build_application("mat2")
+        first = app.simulate_full_crossbar()
+        second = build_application("mat2").simulate_full_crossbar()
+        assert first.trace.records == second.trace.records
+
+
+class TestSyntheticApplication:
+    def test_platform_is_twenty_cores(self):
+        app = build_application("synthetic", total_cycles=30_000)
+        assert app.num_cores == 20
+
+    def test_replay_on_full_crossbar_finishes(self):
+        app = build_application("synthetic", total_cycles=30_000)
+        result = app.simulate_full_crossbar()
+        assert result.finished
+        assert len(result.trace) > 100
+
+    def test_burst_parameter_scales_activity(self):
+        short = build_application(
+            "synthetic", burst_cycles=500, total_cycles=30_000
+        )
+        long = build_application(
+            "synthetic", burst_cycles=2_000, total_cycles=30_000
+        )
+        assert short.default_window < long.default_window

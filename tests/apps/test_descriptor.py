@@ -1,0 +1,79 @@
+"""Unit tests for application descriptors and the standard platform."""
+
+import pytest
+
+from repro.apps import Application, standard_platform
+from repro.errors import ApplicationError
+from repro.platform import Read, TargetKind
+
+
+class TestStandardPlatform:
+    def test_core_layout(self):
+        config = standard_platform(9)
+        assert config.num_initiators == 9
+        assert config.num_targets == 12
+        assert config.initiator_names[0] == "arm0"
+        assert [t.name for t in config.targets[-3:]] == ["shared", "sem", "irq"]
+
+    def test_target_kinds(self):
+        config = standard_platform(4)
+        kinds = [t.kind for t in config.targets]
+        assert kinds[:4] == [TargetKind.MEMORY] * 4
+        assert kinds[5] is TargetKind.SEMAPHORE
+        assert kinds[6] is TargetKind.INTERRUPT
+
+    def test_critical_marking(self):
+        config = standard_platform(4, critical_targets=(0, 6))
+        assert config.targets[0].critical
+        assert config.targets[6].critical
+        assert not config.targets[1].critical
+
+    def test_zero_arms_rejected(self):
+        with pytest.raises(ApplicationError):
+            standard_platform(0)
+
+
+class TestApplication:
+    def make_app(self, num_arms=2):
+        config = standard_platform(num_arms)
+        builders = tuple(
+            (lambda arm=arm: iter([Read(arm)])) for arm in range(num_arms)
+        )
+        return Application(
+            name="toy",
+            config=config,
+            program_builders=builders,
+            sim_cycles=1_000,
+        )
+
+    def test_num_cores(self):
+        assert self.make_app(9).num_cores == 21
+
+    def test_builder_count_must_match(self):
+        config = standard_platform(2)
+        with pytest.raises(ApplicationError):
+            Application(
+                name="bad",
+                config=config,
+                program_builders=(lambda: iter([]),),
+                sim_cycles=100,
+            )
+
+    def test_programs_are_fresh_each_build(self):
+        app = self.make_app()
+        first = app.build_programs()
+        second = app.build_programs()
+        assert first[0] is not second[0]
+        assert list(first[0]) == list(second[0]) == [Read(0)]
+
+    def test_simulate_full_crossbar(self):
+        app = self.make_app()
+        result = app.simulate_full_crossbar()
+        assert result.finished
+        assert result.it_bus_count == app.num_targets
+        assert result.ti_bus_count == app.num_initiators
+
+    def test_simulate_shared_bus(self):
+        app = self.make_app()
+        result = app.simulate_shared_bus()
+        assert result.bus_count == 2

@@ -1,0 +1,108 @@
+"""Unit tests for the phased workload generator."""
+
+import pytest
+
+from repro.apps.programs import WorkloadShape, phased_program
+from repro.errors import ApplicationError
+from repro.platform import Barrier, Compute, Lock, Read, Unlock, Write
+
+
+def ops_for(arm, num_arms=4, **overrides):
+    shape = WorkloadShape(**{**WorkloadShape().__dict__, **overrides})
+    return list(phased_program(arm, num_arms, shape))
+
+
+class TestShapeValidation:
+    def test_defaults_valid(self):
+        WorkloadShape().validate()
+
+    def test_bad_iterations(self):
+        with pytest.raises(ApplicationError):
+            WorkloadShape(iterations=0).validate()
+
+    def test_bad_stages(self):
+        with pytest.raises(ApplicationError):
+            WorkloadShape(stages=0).validate()
+
+    def test_bad_burst(self):
+        with pytest.raises(ApplicationError):
+            WorkloadShape(burst_words=0).validate()
+
+
+class TestProgramStructure:
+    def test_barriers_emitted_per_iteration(self):
+        ops = ops_for(0, iterations=5, barrier_every=1, shared_every=0,
+                      irq_every=0)
+        barriers = [op for op in ops if isinstance(op, Barrier)]
+        assert len(barriers) == 5
+        assert all(b.participants == 4 for b in barriers)
+
+    def test_barrier_every_spacing(self):
+        ops = ops_for(0, iterations=6, barrier_every=3, shared_every=0,
+                      irq_every=0)
+        assert len([op for op in ops if isinstance(op, Barrier)]) == 2
+
+    def test_no_barriers_when_disabled(self):
+        ops = ops_for(0, iterations=4, barrier_every=0, shared_every=0,
+                      irq_every=0)
+        assert not [op for op in ops if isinstance(op, Barrier)]
+
+    def test_private_memory_accesses_target_own_pm(self):
+        for arm in range(4):
+            ops = ops_for(arm, iterations=2, shared_every=0, irq_every=0)
+            accesses = [
+                op for op in ops if isinstance(op, (Read, Write))
+            ]
+            assert accesses
+            assert all(op.target == arm for op in accesses)
+
+    def test_alternating_write_then_read_blocks(self):
+        ops = ops_for(0, iterations=2, accesses_per_iteration=3,
+                      write_phase_period=1, shared_every=0, irq_every=0)
+        kinds = [type(op) for op in ops if isinstance(op, (Read, Write))]
+        assert kinds[:3] == [Write] * 3  # iteration 0: write block
+        assert kinds[3:] == [Read] * 3  # iteration 1: read block
+
+    def test_mixed_block_interleaves(self):
+        ops = ops_for(0, iterations=1, accesses_per_iteration=4,
+                      write_phase_period=0, shared_every=0, irq_every=0)
+        kinds = [type(op) for op in ops if isinstance(op, (Read, Write))]
+        assert kinds == [Write, Read, Write, Read]
+
+    def test_stage_offset_grows_with_stage(self):
+        def first_compute(arm):
+            for op in ops_for(arm, iterations=1, stages=3, jitter=0,
+                              shared_every=0, irq_every=0):
+                if isinstance(op, Compute):
+                    return op.cycles
+            return 0
+
+        assert first_compute(0) == 0
+        assert first_compute(1) == 330
+        assert first_compute(2) == 660
+        assert first_compute(3) == 0  # wraps: stage = arm % stages
+
+    def test_shared_exchange_is_lock_protected(self):
+        ops = ops_for(0, iterations=6, shared_every=2, irq_every=0)
+        locks = [op for op in ops if isinstance(op, Lock)]
+        unlocks = [op for op in ops if isinstance(op, Unlock)]
+        assert locks and len(locks) == len(unlocks)
+        shared_accesses = [
+            op for op in ops
+            if isinstance(op, (Read, Write)) and op.target == 4
+        ]
+        assert len(shared_accesses) == 2 * len(locks)
+
+    def test_irq_writes_rotate_leader(self):
+        leaders = []
+        for arm in range(4):
+            ops = ops_for(arm, iterations=16, irq_every=4, shared_every=0)
+            if any(isinstance(op, Write) and op.target == 6 for op in ops):
+                leaders.append(arm)
+        assert len(leaders) >= 2  # leadership rotates across cores
+
+    def test_deterministic_given_seed(self):
+        assert ops_for(1, seed=5) == ops_for(1, seed=5)
+
+    def test_seed_changes_jitter(self):
+        assert ops_for(1, seed=5) != ops_for(1, seed=6)

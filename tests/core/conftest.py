@@ -1,0 +1,57 @@
+"""Shared fixtures for synthesis-layer tests."""
+
+import pytest
+
+from repro.core import CrossbarDesignProblem, SynthesisConfig, build_conflicts
+from repro.traffic import TrafficTrace
+
+from tests.traffic.conftest import make_record
+
+
+def problem_from_activity(activity, total_cycles, window_size, criticals=()):
+    """Build a design problem from per-target (start, duration) lists.
+
+    ``activity[t]`` is a list of busy intervals of target ``t``; each
+    becomes one record of a synthetic trace.
+    """
+    records = []
+    for target, spans in enumerate(activity):
+        for start, duration in spans:
+            records.append(
+                make_record(
+                    initiator=0,
+                    target=target,
+                    start=start,
+                    duration=duration,
+                    critical=target in criticals,
+                )
+            )
+    # responses complete one cycle after the activity interval ends
+    horizon = max(
+        [total_cycles] + [record.complete for record in records]
+    )
+    trace = TrafficTrace(records, 1, len(activity), total_cycles=horizon)
+    problem = CrossbarDesignProblem.from_trace(trace, window_size)
+    return problem
+
+
+@pytest.fixture
+def two_phase_problem():
+    """Four targets: 0,1 busy in even windows; 2,3 in odd windows.
+
+    Each is busy 60 of 100 cycles in its window, so any same-phase pair
+    exceeds the bandwidth of one bus while cross-phase pairs fit
+    perfectly.
+    """
+    activity = [
+        [(0, 60), (200, 60)],
+        [(20, 60), (220, 60)],
+        [(100, 60), (300, 60)],
+        [(120, 60), (320, 60)],
+    ]
+    return problem_from_activity(activity, total_cycles=400, window_size=100)
+
+
+@pytest.fixture
+def default_config():
+    return SynthesisConfig()

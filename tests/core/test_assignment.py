@@ -1,0 +1,183 @@
+"""Unit and property tests for the specialized assignment solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CrossbarDesignProblem,
+    SynthesisConfig,
+    audit_binding,
+    build_conflicts,
+)
+from repro.core.assignment import solve_assignment
+from repro.core.binding import binding_overlap_objective
+from repro.errors import SolverError
+
+from tests.core.conftest import problem_from_activity
+from tests.traffic.conftest import make_record
+from tests.traffic.test_windows import random_trace
+
+
+def conflicts_for(problem, threshold=0.3, use_criticality=True):
+    return build_conflicts(
+        problem,
+        SynthesisConfig(
+            overlap_threshold=threshold, use_criticality=use_criticality
+        ),
+    )
+
+
+class TestFeasibility:
+    def test_two_phase_fits_two_buses(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, threshold=0.5)
+        result = solve_assignment(two_phase_problem, conflicts, 2)
+        assert result.status == "optimal"
+        binding = result.binding
+        # same-phase targets (0,1) and (2,3) must be split across buses
+        assert binding[0] != binding[1]
+        assert binding[2] != binding[3]
+
+    def test_one_bus_infeasible_for_two_phase(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, threshold=0.5)
+        result = solve_assignment(two_phase_problem, conflicts, 1)
+        assert result.status == "infeasible"
+        assert not result.is_feasible
+
+    def test_binding_respects_audit(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, threshold=0.5)
+        result = solve_assignment(two_phase_problem, conflicts, 3, 2)
+        assert not audit_binding(
+            two_phase_problem, conflicts, result.binding, 2
+        )
+
+    def test_maxtb_forces_spread(self):
+        problem = problem_from_activity(
+            [[(0, 10)], [(20, 10)], [(40, 10)], [(60, 10)]],
+            total_cycles=100,
+            window_size=100,
+        )
+        conflicts = conflicts_for(problem)
+        packed = solve_assignment(problem, conflicts, 4, max_targets_per_bus=None)
+        assert packed.buses_used == 1  # all fit one bus without maxtb
+        spread = solve_assignment(problem, conflicts, 4, max_targets_per_bus=2)
+        assert spread.buses_used == 2
+
+    def test_conflicts_respected(self):
+        problem = problem_from_activity(
+            [[(0, 40)], [(0, 40)], [(50, 20)]],
+            total_cycles=100,
+            window_size=100,
+        )
+        conflicts = conflicts_for(problem, threshold=0.1)
+        result = solve_assignment(problem, conflicts, 2)
+        assert result.binding[0] != result.binding[1]
+
+    def test_budget_exhaustion_raises(self, two_phase_problem):
+        # 2 buses is feasible, but a 2-node budget dies mid-search.
+        conflicts = conflicts_for(two_phase_problem, threshold=0.5)
+        with pytest.raises(SolverError):
+            solve_assignment(
+                two_phase_problem, conflicts, 2, node_limit=2
+            )
+
+    def test_bad_bus_count_rejected(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem)
+        with pytest.raises(SolverError):
+            solve_assignment(two_phase_problem, conflicts, 0)
+
+
+class TestOptimization:
+    def test_optimal_separates_overlapping_pairs(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, threshold=0.5)
+        result = solve_assignment(
+            two_phase_problem, conflicts, 2, optimize=True
+        )
+        # the overlap-minimal 2-bus binding pairs cross-phase targets,
+        # giving zero overlap on both buses
+        assert result.objective == 0
+        assert result.binding[0] != result.binding[1]
+        assert result.binding[2] != result.binding[3]
+
+    def test_objective_matches_evaluator(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, threshold=0.5)
+        result = solve_assignment(
+            two_phase_problem, conflicts, 2, optimize=True
+        )
+        assert result.objective == binding_overlap_objective(
+            two_phase_problem, result.binding
+        )
+
+
+def brute_force_best(problem, conflicts, num_buses, maxtb):
+    """Enumerate all bindings; return (feasible?, best objective)."""
+    best = None
+    for assignment in itertools.product(
+        range(num_buses), repeat=problem.num_targets
+    ):
+        # renumber densely for audit
+        seen = {}
+        dense = []
+        for bus in assignment:
+            seen.setdefault(bus, len(seen))
+            dense.append(seen[bus])
+        if audit_binding(problem, conflicts, dense, maxtb):
+            continue
+        objective = binding_overlap_objective(problem, dense)
+        if best is None or objective < best:
+            best = objective
+    return best
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(random_trace(), st.integers(1, 3), st.sampled_from([None, 2, 3]))
+    def test_matches_enumeration(self, trace, num_buses, maxtb):
+        problem = CrossbarDesignProblem.from_trace(
+            trace, window_size=max(1, trace.total_cycles // 3)
+        )
+        conflicts = conflicts_for(problem, threshold=0.25)
+        expected = brute_force_best(problem, conflicts, num_buses, maxtb)
+        result = solve_assignment(
+            problem, conflicts, num_buses, max_targets_per_bus=maxtb,
+            optimize=True,
+        )
+        if expected is None:
+            assert result.status == "infeasible"
+        else:
+            assert result.status == "optimal"
+            assert result.objective == expected
+            assert not audit_binding(
+                problem, conflicts, result.binding, maxtb
+            )
+
+
+class TestRandomBinding:
+    def test_random_bindings_are_feasible(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, threshold=0.5)
+        for seed in range(5):
+            result = solve_assignment(
+                two_phase_problem, conflicts, 2,
+                rng=random.Random(seed),
+            )
+            assert result.is_feasible
+            assert not audit_binding(
+                two_phase_problem, conflicts, result.binding, None
+            )
+
+    def test_random_bindings_vary_with_seed(self):
+        problem = problem_from_activity(
+            [[(0, 10)], [(20, 10)], [(40, 10)], [(60, 10)], [(80, 10)]],
+            total_cycles=100,
+            window_size=100,
+        )
+        conflicts = conflicts_for(problem)
+        bindings = {
+            solve_assignment(
+                problem, conflicts, 3, rng=random.Random(seed)
+            ).binding
+            for seed in range(10)
+        }
+        assert len(bindings) > 1

@@ -1,0 +1,114 @@
+"""Tests for the literal MILP formulation and solver cross-validation.
+
+The specialized assignment solver and the Eq. 3-11 MILP must agree on
+feasibility verdicts and binding objectives -- the paper's results cannot
+depend on which solver answered.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CrossbarDesignProblem, SynthesisConfig, build_conflicts
+from repro.core.assignment import solve_assignment
+from repro.core.binding import binding_overlap_objective
+from repro.core.formulation import (
+    build_binding_model,
+    build_feasibility_model,
+)
+from repro.milp import BranchBoundOptions, SolveStatus, solve_milp
+
+from tests.core.conftest import problem_from_activity
+from tests.traffic.test_windows import random_trace
+
+
+def conflicts_for(problem, threshold=0.3):
+    return build_conflicts(problem, SynthesisConfig(overlap_threshold=threshold))
+
+
+class TestModelStructure:
+    def test_feasibility_model_variable_count(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, 0.5)
+        crossbar = build_feasibility_model(two_phase_problem, conflicts, 2)
+        # x variables only: 4 targets x 2 buses
+        assert len(crossbar.model.variables) == 8
+        assert crossbar.maxov is None
+
+    def test_binding_model_has_objective(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, 0.5)
+        crossbar = build_binding_model(two_phase_problem, conflicts, 2)
+        assert crossbar.maxov is not None
+        assert crossbar.model.objective.terms
+
+    def test_extract_binding_renumbers_densely(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, 0.5)
+        crossbar = build_feasibility_model(two_phase_problem, conflicts, 3)
+        solution = solve_milp(
+            crossbar.model, BranchBoundOptions(feasibility_only=True)
+        )
+        binding = crossbar.extract_binding(solution)
+        used = max(binding) + 1
+        assert set(binding) == set(range(used))
+
+
+class TestSolverAgreement:
+    def test_two_phase_feasibility_agrees(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, 0.5)
+        for num_buses in (1, 2, 3):
+            milp_model = build_feasibility_model(
+                two_phase_problem, conflicts, num_buses
+            )
+            milp = solve_milp(
+                milp_model.model, BranchBoundOptions(feasibility_only=True)
+            )
+            assignment = solve_assignment(
+                two_phase_problem, conflicts, num_buses
+            )
+            assert milp.is_feasible == assignment.is_feasible
+
+    def test_two_phase_binding_objective_agrees(self, two_phase_problem):
+        conflicts = conflicts_for(two_phase_problem, 0.5)
+        milp_model = build_binding_model(two_phase_problem, conflicts, 2)
+        milp = solve_milp(milp_model.model)
+        assignment = solve_assignment(
+            two_phase_problem, conflicts, 2, optimize=True
+        )
+        assert milp.status is SolveStatus.OPTIMAL
+        assert milp.objective == pytest.approx(assignment.objective)
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_trace(), st.integers(1, 3))
+    def test_feasibility_agreement_on_random_problems(self, trace, num_buses):
+        problem = CrossbarDesignProblem.from_trace(
+            trace, window_size=max(1, trace.total_cycles // 2)
+        )
+        conflicts = conflicts_for(problem, 0.25)
+        milp_model = build_feasibility_model(problem, conflicts, num_buses)
+        milp = solve_milp(
+            milp_model.model, BranchBoundOptions(feasibility_only=True)
+        )
+        assignment = solve_assignment(problem, conflicts, num_buses)
+        assert milp.is_feasible == assignment.is_feasible
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_trace())
+    def test_binding_objective_agreement_on_random_problems(self, trace):
+        problem = CrossbarDesignProblem.from_trace(
+            trace, window_size=max(1, trace.total_cycles // 2)
+        )
+        conflicts = conflicts_for(problem, 0.25)
+        num_buses = 2
+        assignment = solve_assignment(
+            problem, conflicts, num_buses, optimize=True
+        )
+        milp_model = build_binding_model(problem, conflicts, num_buses)
+        milp = solve_milp(milp_model.model)
+        if assignment.is_feasible:
+            assert milp.status is SolveStatus.OPTIMAL
+            assert milp.objective == pytest.approx(float(assignment.objective))
+            # MILP's binding must evaluate to its own objective value
+            binding = milp_model.extract_binding(milp)
+            assert binding_overlap_objective(problem, binding) == pytest.approx(
+                milp.objective
+            )
+        else:
+            assert milp.status is SolveStatus.INFEASIBLE

@@ -1,0 +1,122 @@
+"""End-to-end tests for variable-window (QoS) synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import build_synthetic, synthetic_trace
+from repro.core import (
+    CrossbarDesignProblem,
+    CrossbarSynthesizer,
+    SynthesisConfig,
+    audit_binding,
+)
+from repro.errors import ConfigurationError
+from repro.traffic import phase_aligned_boundaries
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return synthetic_trace(
+        burst_cycles=400, total_cycles=24_000, num_initiators=6,
+        num_targets=6, seed=5,
+    )
+
+
+class TestConfig:
+    def test_flag_defaults_off(self):
+        assert not SynthesisConfig().variable_windows
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(variable_windows=True, variable_window_ratio=0)
+
+
+class TestProblemConstruction:
+    def test_from_trace_boundaries(self, small_trace):
+        edges = phase_aligned_boundaries(
+            small_trace, min_window=100, max_window=1_000
+        )
+        problem = CrossbarDesignProblem.from_trace_boundaries(
+            small_trace, edges
+        )
+        assert problem.num_windows == len(edges) - 1
+        assert problem.capacities.tolist() == list(np.diff(edges))
+        assert (problem.comm <= problem.capacities).all()
+
+    def test_capacity_validation(self, small_trace):
+        problem = CrossbarDesignProblem.from_trace(small_trace, 800)
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            CrossbarDesignProblem(
+                comm=problem.comm,
+                wo=problem.wo,
+                window_size=problem.window_size,
+                criticality=problem.criticality,
+                target_names=problem.target_names,
+                capacities=np.ones(3, dtype=np.int64),  # wrong length
+            )
+
+
+class TestSynthesisFlow:
+    def test_variable_window_design_is_auditable(self, small_trace):
+        config = SynthesisConfig(
+            window_size=1_000,
+            variable_windows=True,
+            max_targets_per_bus=None,
+        )
+        report = CrossbarSynthesizer(config).design_from_trace(small_trace)
+        for side in (report.it_report, report.ti_report):
+            assert not side.problem.capacities.min() < 1
+            assert audit_binding(
+                side.problem,
+                side.conflicts,
+                side.binding.binding,
+                config.max_targets_per_bus,
+            ) == []
+
+    def test_variable_windows_track_phases_with_fewer_windows(
+        self, small_trace
+    ):
+        uniform = CrossbarDesignProblem.from_trace(small_trace, 200)
+        edges = phase_aligned_boundaries(
+            small_trace, min_window=200, max_window=1_000
+        )
+        variable = CrossbarDesignProblem.from_trace_boundaries(
+            small_trace, edges
+        )
+        # phase alignment needs far fewer windows than the uniform grid
+        # at the same resolution floor
+        assert variable.num_windows < uniform.num_windows
+
+    def test_variable_design_no_larger_than_fine_uniform(self, small_trace):
+        base = dict(max_targets_per_bus=None, overlap_threshold=0.4)
+        fine = CrossbarSynthesizer(
+            SynthesisConfig(window_size=250, **base)
+        ).design_from_trace(small_trace)
+        variable = CrossbarSynthesizer(
+            SynthesisConfig(
+                window_size=1_000, variable_windows=True,
+                variable_window_ratio=4, **base,
+            )
+        ).design_from_trace(small_trace)
+        assert (
+            variable.design.bus_count <= fine.design.bus_count
+        )
+
+    def test_replayable_validation(self):
+        app = build_synthetic(burst_cycles=400, total_cycles=24_000, seed=5)
+        trace = app.simulate_full_crossbar().trace
+        config = SynthesisConfig(
+            window_size=800, variable_windows=True, max_targets_per_bus=None
+        )
+        report = CrossbarSynthesizer(config).design(app, trace=trace)
+        validation = app.simulate(
+            report.design.it.as_list(),
+            report.design.ti.as_list(),
+            app.sim_cycles,
+        )
+        assert validation.finished
+        full = app.simulate_full_crossbar()
+        ratio = validation.latency_stats().mean / full.latency_stats().mean
+        assert ratio < 2.0

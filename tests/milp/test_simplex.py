@@ -1,0 +1,165 @@
+"""Unit and property tests for the pure-Python simplex solver.
+
+The property tests draw random LPs and assert agreement with scipy's
+HiGHS on both status and optimal objective value.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.milp import solve_lp_scipy, solve_lp_simplex
+from repro.milp.simplex import LPStatus
+
+
+def solve(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, lower=None, upper=None):
+    c = np.asarray(c, dtype=float)
+    n = c.size
+    a_ub = np.zeros((0, n)) if a_ub is None else np.asarray(a_ub, dtype=float)
+    b_ub = np.zeros(0) if b_ub is None else np.asarray(b_ub, dtype=float)
+    a_eq = np.zeros((0, n)) if a_eq is None else np.asarray(a_eq, dtype=float)
+    b_eq = np.zeros(0) if b_eq is None else np.asarray(b_eq, dtype=float)
+    lower = np.zeros(n) if lower is None else np.asarray(lower, dtype=float)
+    upper = np.full(n, np.inf) if upper is None else np.asarray(upper, dtype=float)
+    return solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+
+
+class TestKnownLPs:
+    def test_simple_bounded_maximization(self):
+        # min -x - y s.t. x + y <= 4, x <= 3, y <= 2
+        result = solve([-1, -1], a_ub=[[1, 1], [1, 0], [0, 1]], b_ub=[4, 3, 2])
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-4)
+
+    def test_equality_constraint(self):
+        result = solve([1, 2], a_eq=[[1, 1]], b_eq=[10])
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(10)
+        np.testing.assert_allclose(result.x, [10, 0], atol=1e-7)
+
+    def test_infeasible(self):
+        result = solve([1], a_ub=[[1], [-1]], b_ub=[1, -3])  # x <= 1 and x >= 3
+        assert result.status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        result = solve([-1])  # min -x, x >= 0 unbounded
+        assert result.status is LPStatus.UNBOUNDED
+
+    def test_variable_upper_bounds(self):
+        result = solve([-1, -1], upper=[2, 3])
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-5)
+
+    def test_shifted_lower_bounds(self):
+        result = solve([1, 1], lower=[2, 3])
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(5)
+
+    def test_negative_lower_bounds(self):
+        result = solve([1], lower=[-5], upper=[5])
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-5)
+
+    def test_free_variable_with_equality(self):
+        # x free, y >= 0: min x s.t. x + y == 2, x >= -7 via x free
+        result = solve(
+            [1, 0],
+            a_eq=[[1, 1]],
+            b_eq=[2],
+            lower=[-np.inf, 0],
+            upper=[np.inf, np.inf],
+        )
+        assert result.status is LPStatus.UNBOUNDED
+
+    def test_free_variable_bounded_by_rows(self):
+        result = solve(
+            [1],
+            a_ub=[[-1]],
+            b_ub=[4],  # -x <= 4  ->  x >= -4
+            lower=[-np.inf],
+            upper=[np.inf],
+        )
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-4)
+
+    def test_degenerate_does_not_cycle(self):
+        # Classic degenerate LP; Bland's rule must terminate.
+        result = solve(
+            [-0.75, 150, -0.02, 6],
+            a_ub=[
+                [0.25, -60, -0.04, 9],
+                [0.5, -90, -0.02, 3],
+                [0, 0, 1, 0],
+            ],
+            b_ub=[0, 0, 1],
+        )
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-0.05)
+
+    def test_inverted_bounds_infeasible(self):
+        result = solve([1], lower=[3], upper=[1])
+        assert result.status is LPStatus.INFEASIBLE
+
+    def test_redundant_rows_handled(self):
+        result = solve([1, 1], a_eq=[[1, 1], [2, 2]], b_eq=[4, 8])
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(4)
+
+    def test_no_constraints_zero_cost(self):
+        result = solve([0, 0])
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(0)
+
+
+@st.composite
+def random_lp(draw):
+    """Random LP with bounded variables (so never unbounded)."""
+    num_vars = draw(st.integers(1, 5))
+    num_rows = draw(st.integers(0, 5))
+    ints = st.integers(-6, 6)
+    c = [draw(ints) for _ in range(num_vars)]
+    a = [[draw(ints) for _ in range(num_vars)] for _ in range(num_rows)]
+    b = [draw(st.integers(-10, 20)) for _ in range(num_rows)]
+    upper = [draw(st.integers(0, 8)) for _ in range(num_vars)]
+    return c, a, b, upper
+
+
+class TestAgainstScipy:
+    @settings(max_examples=120, deadline=None)
+    @given(random_lp())
+    def test_matches_scipy_on_random_instances(self, lp):
+        c, a, b, upper = lp
+        n = len(c)
+        args = dict(
+            c=np.array(c, dtype=float),
+            a_ub=np.array(a, dtype=float).reshape(len(b), n),
+            b_ub=np.array(b, dtype=float),
+            a_eq=np.zeros((0, n)),
+            b_eq=np.zeros(0),
+            lower=np.zeros(n),
+            upper=np.array(upper, dtype=float),
+        )
+        ours = solve_lp_simplex(**args)
+        reference = solve_lp_scipy(**args)
+        assert ours.status == reference.status
+        if ours.status is LPStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_lp())
+    def test_solution_is_feasible(self, lp):
+        c, a, b, upper = lp
+        n = len(c)
+        a_ub = np.array(a, dtype=float).reshape(len(b), n)
+        b_ub = np.array(b, dtype=float)
+        result = solve_lp_simplex(
+            np.array(c, dtype=float), a_ub, b_ub,
+            np.zeros((0, n)), np.zeros(0),
+            np.zeros(n), np.array(upper, dtype=float),
+        )
+        if result.status is LPStatus.OPTIMAL:
+            x = result.x
+            assert (x >= -1e-7).all()
+            assert (x <= np.array(upper) + 1e-7).all()
+            if len(b):
+                assert (a_ub @ x <= b_ub + 1e-6).all()

@@ -1,0 +1,80 @@
+"""Additional simplex properties: equality constraints and mixed systems.
+
+Complements ``test_simplex.py`` (inequality-only random LPs) with random
+*equality-constrained* instances, again cross-checked against scipy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.milp import solve_lp_scipy, solve_lp_simplex
+from repro.milp.simplex import LPStatus
+
+
+@st.composite
+def random_equality_lp(draw):
+    num_vars = draw(st.integers(2, 5))
+    num_eq = draw(st.integers(1, 2))
+    num_ub = draw(st.integers(0, 3))
+    ints = st.integers(-4, 4)
+    c = [draw(ints) for _ in range(num_vars)]
+    a_eq = [[draw(ints) for _ in range(num_vars)] for _ in range(num_eq)]
+    # build a guaranteed-feasible rhs from a random non-negative point
+    x0 = [draw(st.integers(0, 3)) for _ in range(num_vars)]
+    b_eq = [sum(a * x for a, x in zip(row, x0)) for row in a_eq]
+    a_ub = [[draw(ints) for _ in range(num_vars)] for _ in range(num_ub)]
+    b_ub = [
+        sum(a * x for a, x in zip(row, x0)) + draw(st.integers(0, 5))
+        for row in a_ub
+    ]
+    upper = [draw(st.integers(3, 8)) for _ in range(num_vars)]
+    return c, a_eq, b_eq, a_ub, b_ub, upper, x0
+
+
+class TestEqualityLPs:
+    @settings(max_examples=80, deadline=None)
+    @given(random_equality_lp())
+    def test_matches_scipy(self, lp):
+        c, a_eq, b_eq, a_ub, b_ub, upper, _x0 = lp
+        n = len(c)
+        args = dict(
+            c=np.array(c, dtype=float),
+            a_ub=np.array(a_ub, dtype=float).reshape(len(b_ub), n),
+            b_ub=np.array(b_ub, dtype=float),
+            a_eq=np.array(a_eq, dtype=float).reshape(len(b_eq), n),
+            b_eq=np.array(b_eq, dtype=float),
+            lower=np.zeros(n),
+            upper=np.array(upper, dtype=float),
+        )
+        ours = solve_lp_simplex(**args)
+        reference = solve_lp_scipy(**args)
+        assert ours.status == reference.status
+        if ours.status is LPStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(
+                reference.objective, abs=1e-6
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_equality_lp())
+    def test_solution_satisfies_equalities(self, lp):
+        c, a_eq, b_eq, a_ub, b_ub, upper, x0 = lp
+        n = len(c)
+        # the witness point is feasible iff it respects the upper bounds;
+        # restrict to instances where it does, so OPTIMAL is guaranteed
+        if any(x > u for x, u in zip(x0, upper)):
+            return
+        result = solve_lp_simplex(
+            np.array(c, dtype=float),
+            np.array(a_ub, dtype=float).reshape(len(b_ub), n),
+            np.array(b_ub, dtype=float),
+            np.array(a_eq, dtype=float).reshape(len(b_eq), n),
+            np.array(b_eq, dtype=float),
+            np.zeros(n),
+            np.array(upper, dtype=float),
+        )
+        assert result.status is LPStatus.OPTIMAL
+        for row, rhs in zip(a_eq, b_eq):
+            assert sum(a * x for a, x in zip(row, result.x)) == pytest.approx(
+                rhs, abs=1e-6
+            )

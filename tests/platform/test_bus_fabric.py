@@ -1,0 +1,118 @@
+"""Unit tests for buses, bindings and fabrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform import (
+    Bus,
+    Fabric,
+    TimingModel,
+    Transaction,
+    full_crossbar_binding,
+    make_arbiter,
+    shared_bus_binding,
+    validate_binding,
+)
+from repro.sim import Engine, spawn
+from repro.traffic.events import TransactionKind
+
+
+class TestBus:
+    def test_transfer_timing_includes_arbitration(self):
+        engine = Engine()
+        bus = Bus(engine, "b0", make_arbiter("fifo"), arbitration_cycles=1)
+        results = []
+
+        def proc():
+            grant, release = yield from bus.transfer("me", occupancy=4)
+            results.append((grant, release))
+
+        spawn(engine, proc())
+        engine.run()
+        assert results == [(0, 5)]  # 1 arb + 4 occupancy
+
+    def test_back_to_back_transfers_serialize(self):
+        engine = Engine()
+        bus = Bus(engine, "b0", make_arbiter("fifo"), arbitration_cycles=1)
+        results = []
+
+        def proc(tag):
+            grant, release = yield from bus.transfer(tag, occupancy=3)
+            results.append((tag, grant, release))
+
+        spawn(engine, proc("a"))
+        spawn(engine, proc("b"))
+        engine.run()
+        assert results == [("a", 0, 4), ("b", 4, 8)]
+        assert bus.transfers == 2
+        assert bus.busy_cycles() == 8
+        assert bus.utilization(16) == pytest.approx(0.5)
+
+    def test_busy_log_owners(self):
+        engine = Engine()
+        bus = Bus(engine, "b0", make_arbiter("fifo"), arbitration_cycles=0)
+
+        def proc(tag):
+            yield from bus.transfer(tag, occupancy=2)
+
+        spawn(engine, proc("x"))
+        engine.run()
+        assert bus.busy_log == [(0, 2, "x")]
+
+
+class TestBindings:
+    def test_full_crossbar_binding(self):
+        assert full_crossbar_binding(3) == [0, 1, 2]
+
+    def test_shared_bus_binding(self):
+        assert shared_bus_binding(3) == [0, 0, 0]
+
+    def test_validate_counts_buses(self):
+        assert validate_binding([0, 1, 0, 2], "test") == 3
+
+    def test_empty_binding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_binding([], "test")
+
+    def test_negative_bus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_binding([0, -1], "test")
+
+    def test_sparse_bus_numbering_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_binding([0, 2], "test")
+
+
+class TestFabric:
+    def make_fabric(self, it_binding, ti_binding):
+        return Fabric(Engine(), it_binding, ti_binding, TimingModel())
+
+    def test_bus_counts(self):
+        fabric = self.make_fabric([0, 0, 1], [0, 1, 1, 1])
+        assert len(fabric.it_buses) == 2
+        assert len(fabric.ti_buses) == 2
+        assert fabric.bus_count == 4
+
+    def test_routing(self):
+        fabric = self.make_fabric([0, 0, 1], [0, 1])
+        transaction = Transaction(1, 2, TransactionKind.READ, burst=1)
+        assert fabric.request_bus(transaction) is fabric.it_buses[1]
+        assert fabric.response_bus(transaction) is fabric.ti_buses[1]
+
+    def test_membership_queries(self):
+        fabric = self.make_fabric([0, 0, 1], [1, 0, 1])
+        assert fabric.targets_on_bus(0) == [0, 1]
+        assert fabric.targets_on_bus(1) == [2]
+        assert fabric.initiators_on_bus(1) == [0, 2]
+
+    def test_shared_configuration_is_two_buses(self):
+        # The paper's shared-bus reference: one bus per direction.
+        fabric = self.make_fabric(shared_bus_binding(12), shared_bus_binding(9))
+        assert fabric.bus_count == 2
+
+    def test_full_crossbar_is_one_bus_per_core(self):
+        # Mat2 shape: 12 targets + 9 initiators -> 21 buses (ratio 10.5).
+        fabric = self.make_fabric(
+            full_crossbar_binding(12), full_crossbar_binding(9)
+        )
+        assert fabric.bus_count == 21

@@ -1,0 +1,173 @@
+"""Property-based tests of the platform simulator.
+
+Random workloads are generated with Hypothesis and simulated; the tests
+check global invariants that must hold for *any* program mix:
+
+* conservation -- every issued transaction completes exactly once (given
+  enough cycles) and is recorded once,
+* serialization -- bus holds never overlap on the same bus; target
+  service intervals never overlap on the same target,
+* causality -- phase timestamps are monotone and latency >= the
+  uncontended minimum,
+* determinism -- identical setups produce identical traces.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platform import (
+    Compute,
+    Read,
+    SoC,
+    SoCConfig,
+    TargetConfig,
+    TimingModel,
+    Write,
+    full_crossbar_binding,
+    shared_bus_binding,
+)
+from repro.traffic.events import TransactionKind
+from repro.traffic.intervals import intersect, normalize
+
+
+@st.composite
+def random_workload(draw):
+    """A small random platform plus random programs."""
+    num_initiators = draw(st.integers(1, 4))
+    num_targets = draw(st.integers(1, 4))
+    programs = []
+    total_ops = 0
+    for _ in range(num_initiators):
+        ops = []
+        for _ in range(draw(st.integers(0, 8))):
+            kind = draw(st.sampled_from(["compute", "read", "write"]))
+            if kind == "compute":
+                ops.append(Compute(draw(st.integers(0, 30))))
+            else:
+                op_class = Read if kind == "read" else Write
+                ops.append(
+                    op_class(
+                        target=draw(st.integers(0, num_targets - 1)),
+                        burst=draw(st.integers(1, 8)),
+                    )
+                )
+                total_ops += 1
+        programs.append(ops)
+    it_binding = [
+        draw(st.integers(0, 1)) if num_targets > 1 else 0
+        for _ in range(num_targets)
+    ]
+    ti_binding = [
+        draw(st.integers(0, 1)) if num_initiators > 1 else 0
+        for _ in range(num_initiators)
+    ]
+    # bindings must be dense: force bus 0 to exist
+    if it_binding and 0 not in it_binding:
+        it_binding[0] = 0
+    if 1 in it_binding and it_binding.count(1) == len(it_binding):
+        it_binding[0] = 0
+    if ti_binding and 0 not in ti_binding:
+        ti_binding[0] = 0
+    return num_initiators, num_targets, it_binding, ti_binding, programs, total_ops
+
+
+def build_soc(num_initiators, num_targets, it_binding, ti_binding, programs):
+    def densify(binding):
+        mapping = {}
+        dense = []
+        for bus in binding:
+            mapping.setdefault(bus, len(mapping))
+            dense.append(mapping[bus])
+        return dense
+
+    config = SoCConfig(
+        initiator_names=[f"i{k}" for k in range(num_initiators)],
+        targets=[TargetConfig(name=f"t{k}") for k in range(num_targets)],
+    )
+    return SoC(config, densify(it_binding), densify(ti_binding), programs)
+
+
+class TestConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(random_workload())
+    def test_every_access_completes_once(self, workload):
+        (num_initiators, num_targets, it_binding, ti_binding, programs,
+         total_ops) = workload
+        soc = build_soc(
+            num_initiators, num_targets, it_binding, ti_binding, programs
+        )
+        result = soc.run(max_cycles=100_000)
+        assert result.finished
+        assert len(result.trace) == total_ops
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_workload())
+    def test_bus_holds_never_overlap(self, workload):
+        (num_initiators, num_targets, it_binding, ti_binding, programs,
+         _total) = workload
+        soc = build_soc(
+            num_initiators, num_targets, it_binding, ti_binding, programs
+        )
+        soc.run(max_cycles=100_000)
+        for bus in soc.fabric.it_buses + soc.fabric.ti_buses:
+            intervals = [(start, end) for start, end, _owner in bus.busy_log
+                         if end > start]
+            merged = normalize(intervals)
+            assert sum(e - s for s, e in merged) == sum(
+                e - s for s, e in intervals
+            ), f"overlapping holds on {bus.name}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_workload())
+    def test_target_service_serializes(self, workload):
+        (num_initiators, num_targets, it_binding, ti_binding, programs,
+         _total) = workload
+        soc = build_soc(
+            num_initiators, num_targets, it_binding, ti_binding, programs
+        )
+        result = soc.run(max_cycles=100_000)
+        for target in range(num_targets):
+            spans = [
+                (rec.service_start, rec.service_end)
+                for rec in result.trace.records
+                if rec.target == target and rec.service_end > rec.service_start
+            ]
+            for idx, a in enumerate(spans):
+                for b in spans[idx + 1 :]:
+                    assert not intersect([a], [b]), (
+                        f"target {target} served two requests at once"
+                    )
+
+
+class TestCausality:
+    @settings(max_examples=40, deadline=None)
+    @given(random_workload())
+    def test_latency_at_least_uncontended_minimum(self, workload):
+        (num_initiators, num_targets, it_binding, ti_binding, programs,
+         _total) = workload
+        soc = build_soc(
+            num_initiators, num_targets, it_binding, ti_binding, programs
+        )
+        result = soc.run(max_cycles=100_000)
+        timing = TimingModel()
+        for record in result.trace.records:
+            service = soc.config.targets[record.target].service_cycles
+            minimum = timing.uncontended_latency(
+                record.kind, record.burst, service
+            )
+            assert record.latency >= minimum
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_workload())
+    def test_deterministic_reruns(self, workload):
+        (num_initiators, num_targets, it_binding, ti_binding, programs,
+         _total) = workload
+
+        def run():
+            soc = build_soc(
+                num_initiators, num_targets, it_binding, ti_binding,
+                [list(p) for p in programs],
+            )
+            return soc.run(max_cycles=100_000).trace.records
+
+        assert run() == run()

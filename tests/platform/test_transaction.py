@@ -1,0 +1,71 @@
+"""Unit tests for transactions and the timing model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platform import TimingModel, Transaction
+from repro.platform.adapters import AdapterConfig
+from repro.traffic.events import TransactionKind
+
+
+class TestTimingModel:
+    def test_read_occupancies(self):
+        timing = TimingModel()
+        # reads carry payload on the response path only
+        assert timing.request_occupancy(TransactionKind.READ, 4) == 1
+        assert timing.response_occupancy(TransactionKind.READ, 4) == 5
+
+    def test_write_occupancies(self):
+        timing = TimingModel()
+        assert timing.request_occupancy(TransactionKind.WRITE, 4) == 5
+        assert timing.response_occupancy(TransactionKind.WRITE, 4) == 1
+
+    def test_uncontended_single_word_read_is_six_cycles(self):
+        # The paper's Table 1 full-crossbar average: 6 cycles.
+        timing = TimingModel()
+        latency = timing.uncontended_latency(TransactionKind.READ, 1, 1)
+        assert latency == 6
+
+    def test_uncontended_four_word_read_is_nine_cycles(self):
+        # The paper's Table 1 full-crossbar maximum: 9 cycles.
+        timing = TimingModel()
+        assert timing.uncontended_latency(TransactionKind.READ, 4, 1) == 9
+
+    def test_cycles_per_word_scaling(self):
+        timing = TimingModel(cycles_per_word=2)
+        assert timing.response_occupancy(TransactionKind.READ, 3) == 7
+
+    def test_adapter_stretches_payload(self):
+        timing = TimingModel()
+        narrow = AdapterConfig(width_ratio=2.0, extra_cycles=1)
+        assert timing.request_occupancy(TransactionKind.WRITE, 4, narrow) == 10
+        # reads carry no request payload: only the overhead applies
+        assert timing.request_occupancy(TransactionKind.READ, 4, narrow) == 2
+
+
+class TestTransaction:
+    def test_bad_burst_rejected(self):
+        with pytest.raises(SimulationError):
+            Transaction(0, 0, TransactionKind.READ, burst=0)
+
+    def test_unfinished_cannot_be_recorded(self):
+        transaction = Transaction(0, 0, TransactionKind.READ, burst=1)
+        with pytest.raises(SimulationError):
+            transaction.to_record()
+
+    def test_record_round_trip(self):
+        transaction = Transaction(1, 2, TransactionKind.WRITE, burst=3, critical=True)
+        transaction.issue = 0
+        transaction.it_grant = 1
+        transaction.it_release = 5
+        transaction.service_start = 5
+        transaction.service_end = 6
+        transaction.ti_grant = 7
+        transaction.ti_release = 8
+        transaction.complete = 8
+        record = transaction.to_record()
+        assert record.initiator == 1
+        assert record.target == 2
+        assert record.latency == 8
+        assert record.critical
+        assert transaction.finished

@@ -1,0 +1,149 @@
+"""Unit tests for the discrete-event engine and one-shot events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Event
+
+
+class TestEngineScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5, order.append, "late")
+        engine.schedule(1, order.append, "early")
+        engine.schedule(3, order.append, "middle")
+        engine.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_same_cycle_events_run_fifo(self):
+        engine = Engine()
+        order = []
+        for label in ("a", "b", "c"):
+            engine.schedule(2, order.append, label)
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(7, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [7]
+        assert engine.now == 7
+
+    def test_run_returns_final_time(self):
+        engine = Engine()
+        engine.schedule(11, lambda: None)
+        assert engine.run() == 11
+
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3, fired.append, "in")
+        engine.schedule(10, fired.append, "out")
+        final = engine.run(until=5)
+        assert fired == ["in"]
+        assert final == 5
+        assert engine.pending_events == 1
+
+    def test_run_until_advances_clock_even_without_events(self):
+        engine = Engine()
+        assert engine.run(until=42) == 42
+        assert engine.now == 42
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5, lambda: engine.schedule_at(1, lambda: None))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_events_scheduled_during_run_are_executed(self):
+        engine = Engine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(2, lambda: order.append("nested"))
+
+        engine.schedule(1, first)
+        engine.run()
+        assert order == ["first", "nested"]
+        assert engine.now == 3
+
+    def test_stop_halts_processing(self):
+        engine = Engine()
+        fired = []
+
+        def fire_and_stop():
+            fired.append(1)
+            engine.stop()
+
+        engine.schedule(1, fire_and_stop)
+        engine.schedule(2, fired.append, 2)
+        engine.run()
+        assert fired == [1]
+        assert engine.pending_events == 1
+
+    def test_step_on_empty_queue_returns_false(self):
+        engine = Engine()
+        assert engine.step() is False
+
+    def test_zero_delay_runs_in_same_cycle(self):
+        engine = Engine()
+        times = []
+        engine.schedule(4, lambda: engine.schedule(0, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [4]
+
+    def test_determinism_across_runs(self):
+        def build_and_run():
+            engine = Engine()
+            order = []
+            for delay, label in [(3, "x"), (3, "y"), (1, "z"), (2, "w")]:
+                engine.schedule(delay, order.append, label)
+            engine.run()
+            return order
+
+        assert build_and_run() == build_and_run() == ["z", "w", "x", "y"]
+
+
+class TestEvent:
+    def test_succeed_triggers_callbacks(self):
+        engine = Engine()
+        event = Event(engine)
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        engine.schedule(3, event.succeed, "payload")
+        engine.run()
+        assert seen == ["payload"]
+
+    def test_callback_added_after_trigger_still_runs(self):
+        engine = Engine()
+        event = Event(engine)
+        event.succeed(99)
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        engine.run()
+        assert seen == [99]
+
+    def test_double_succeed_raises(self):
+        engine = Engine()
+        event = Event(engine)
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_triggered_and_value_properties(self):
+        engine = Engine()
+        event = Event(engine)
+        assert not event.triggered
+        assert event.value is None
+        event.succeed(5)
+        assert event.triggered
+        assert event.value == 5

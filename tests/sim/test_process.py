@@ -1,0 +1,128 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Event, spawn
+
+
+class TestProcessWaits:
+    def test_integer_yield_delays(self):
+        engine = Engine()
+        times = []
+
+        def worker():
+            times.append(engine.now)
+            yield 5
+            times.append(engine.now)
+            yield 3
+            times.append(engine.now)
+
+        spawn(engine, worker())
+        engine.run()
+        assert times == [0, 5, 8]
+
+    def test_event_yield_receives_value(self):
+        engine = Engine()
+        event = Event(engine)
+        received = []
+
+        def waiter():
+            value = yield event
+            received.append((engine.now, value))
+
+        spawn(engine, waiter())
+        engine.schedule(9, event.succeed, "ready")
+        engine.run()
+        assert received == [(9, "ready")]
+
+    def test_process_yield_waits_for_completion(self):
+        engine = Engine()
+        log = []
+
+        def child():
+            yield 4
+            log.append(("child-done", engine.now))
+            return "child-result"
+
+        def parent():
+            result = yield spawn(engine, child())
+            log.append(("parent-resumed", engine.now, result))
+
+        spawn(engine, parent())
+        engine.run()
+        assert ("child-done", 4) in log
+        assert ("parent-resumed", 4, "child-result") in log
+
+    def test_result_and_finished(self):
+        engine = Engine()
+
+        def worker():
+            yield 2
+            return 123
+
+        proc = spawn(engine, worker())
+        assert not proc.finished
+        engine.run()
+        assert proc.finished
+        assert proc.result == 123
+
+    def test_zero_delay_yield(self):
+        engine = Engine()
+        order = []
+
+        def a():
+            order.append("a1")
+            yield 0
+            order.append("a2")
+
+        def b():
+            order.append("b1")
+            yield 0
+            order.append("b2")
+
+        spawn(engine, a())
+        spawn(engine, b())
+        engine.run()
+        assert order == ["a1", "b1", "a2", "b2"]
+
+    def test_negative_delay_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield -3
+
+        spawn(engine, bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_bad_yield_target_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield "not-a-wait-target"
+
+        spawn(engine, bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_non_generator_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            spawn(engine, lambda: None)  # type: ignore[arg-type]
+
+    def test_many_processes_interleave_deterministically(self):
+        engine = Engine()
+        log = []
+
+        def worker(idx, period):
+            for _ in range(3):
+                yield period
+                log.append((engine.now, idx))
+
+        for idx, period in enumerate([3, 5, 7]):
+            spawn(engine, worker(idx, period), name=f"w{idx}")
+        engine.run()
+        assert log == sorted(log, key=lambda entry: entry[0])
+        assert len(log) == 9
+        assert engine.now == 21

@@ -1,0 +1,134 @@
+"""Unit tests for arbitrated resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Resource, fifo_policy, priority_policy, spawn
+
+
+def hold(engine, resource, owner, duration, log, priority=0):
+    """Process that acquires, holds for ``duration`` cycles, and releases."""
+
+    def proc():
+        request = resource.acquire(owner=owner, priority=priority)
+        yield request.granted
+        log.append(("grant", owner, engine.now))
+        yield duration
+        resource.release(request)
+        log.append(("release", owner, engine.now))
+
+    return spawn(engine, proc(), name=f"hold-{owner}")
+
+
+class TestResourceBasics:
+    def test_single_holder_serializes(self):
+        engine = Engine()
+        resource = Resource(engine, name="bus")
+        log = []
+        hold(engine, resource, "a", 4, log)
+        hold(engine, resource, "b", 4, log)
+        engine.run()
+        grants = [entry for entry in log if entry[0] == "grant"]
+        assert grants == [("grant", "a", 0), ("grant", "b", 4)]
+
+    def test_capacity_two_allows_parallel_holds(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+        log = []
+        for owner in ("a", "b", "c"):
+            hold(engine, resource, owner, 5, log)
+        engine.run()
+        grants = {owner: time for kind, owner, time in log if kind == "grant"}
+        assert grants["a"] == 0
+        assert grants["b"] == 0
+        assert grants["c"] == 5
+
+    def test_fifo_policy_orders_by_arrival(self):
+        engine = Engine()
+        resource = Resource(engine, policy=fifo_policy)
+        log = []
+
+        def late_requester():
+            yield 2
+            hold(engine, resource, "late", 1, log)
+
+        hold(engine, resource, "first", 5, log)
+        spawn(engine, late_requester())
+        engine.schedule(1, lambda: hold(engine, resource, "second", 1, log))
+        engine.run()
+        grant_order = [owner for kind, owner, _ in log if kind == "grant"]
+        assert grant_order == ["first", "second", "late"]
+
+    def test_priority_policy_preferred_over_arrival(self):
+        engine = Engine()
+        resource = Resource(engine, policy=priority_policy)
+        log = []
+        hold(engine, resource, "holder", 3, log)
+        engine.schedule(1, lambda: hold(engine, resource, "lowprio", 1, log, priority=5))
+        engine.schedule(2, lambda: hold(engine, resource, "highprio", 1, log, priority=1))
+        engine.run()
+        grant_order = [owner for kind, owner, _ in log if kind == "grant"]
+        assert grant_order == ["holder", "highprio", "lowprio"]
+
+    def test_same_cycle_requests_arbitrated_together(self):
+        engine = Engine()
+        resource = Resource(engine, policy=priority_policy)
+        log = []
+
+        def burst():
+            hold(engine, resource, "low", 1, log, priority=9)
+            hold(engine, resource, "high", 1, log, priority=0)
+
+        engine.schedule(3, burst)
+        engine.run()
+        grant_order = [owner for kind, owner, _ in log if kind == "grant"]
+        assert grant_order == ["high", "low"]
+
+    def test_busy_log_records_intervals(self):
+        engine = Engine()
+        resource = Resource(engine, record_busy=True)
+        log = []
+        hold(engine, resource, "a", 4, log)
+        hold(engine, resource, "b", 2, log)
+        engine.run()
+        assert resource.busy_log == [(0, 4, "a"), (4, 6, "b")]
+
+    def test_release_without_hold_raises(self):
+        engine = Engine()
+        resource = Resource(engine)
+        request = resource.acquire(owner="x")
+        with pytest.raises(SimulationError):
+            resource.release(request)
+
+    def test_cancel_pending_request(self):
+        engine = Engine()
+        resource = Resource(engine)
+        log = []
+        hold(engine, resource, "holder", 5, log)
+
+        def cancelling():
+            request = resource.acquire(owner="cancelled")
+            yield 1
+            resource.cancel(request)
+
+        spawn(engine, cancelling())
+        hold(engine, resource, "after", 1, log)
+        engine.run()
+        owners = [owner for kind, owner, _ in log if kind == "grant"]
+        assert "cancelled" not in owners
+        assert owners == ["holder", "after"]
+
+    def test_zero_capacity_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            Resource(engine, capacity=0)
+
+    def test_queue_length_and_in_use(self):
+        engine = Engine()
+        resource = Resource(engine)
+        log = []
+        hold(engine, resource, "a", 10, log)
+        hold(engine, resource, "b", 1, log)
+        engine.run(until=5)
+        assert resource.in_use == 1
+        assert resource.queue_length == 1

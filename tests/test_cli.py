@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_defaults(self):
+        args = build_parser().parse_args(["design", "mat2"])
+        assert args.app == "mat2"
+        assert args.threshold == pytest.approx(0.3)
+        assert args.maxtb == 4
+        assert not args.validate
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mat1", "mat2", "fft", "qsort", "des", "synthetic"):
+            assert name in out
+        assert "21" in out  # mat2 core count
+
+    def test_design_qsort(self, capsys):
+        assert main(["design", "qsort"]) == 0
+        out = capsys.readouterr().out
+        assert "designed crossbar" in out
+        assert "IT binding:" in out
+        assert "pm0" in out
+
+    def test_design_unknown_app_fails_cleanly(self, capsys):
+        assert main(["design", "doom"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_design_with_validation(self, capsys):
+        assert main(["design", "qsort", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "validation" in out
+        assert "designed" in out
+
+    def test_design_parameter_overrides(self, capsys):
+        assert main(
+            ["design", "qsort", "--window", "500", "--threshold", "0.1",
+             "--maxtb", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "window size: 500" in out
+        assert "10%" in out
+
+    def test_trace_dump(self, tmp_path, capsys):
+        out_path = tmp_path / "qsort.jsonl"
+        assert main(["trace", "qsort", "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "wrote" in capsys.readouterr().out
+        from repro.traffic import load_trace_jsonl
+
+        trace = load_trace_jsonl(out_path)
+        assert trace.num_initiators == 6
+
+    def test_sweep_window(self, capsys):
+        assert main(
+            ["sweep-window", "--burst", "400", "--windows", "200", "1600"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "window sweep" in out
+        assert "200" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "qsort"]) == 0
+        out = capsys.readouterr().out
+        for label in ("shared", "average-traffic", "windowed", "full"):
+            assert label in out

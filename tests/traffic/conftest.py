@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for traffic-layer tests."""
+
+import pytest
+
+from repro.traffic import TraceRecord, TrafficTrace, TransactionKind
+
+
+def make_record(
+    initiator=0,
+    target=0,
+    start=0,
+    duration=4,
+    kind=TransactionKind.WRITE,
+    burst=2,
+    critical=False,
+    stream="",
+    response=1,
+):
+    """A well-formed record whose IT activity spans [start, start+duration)."""
+    it_release = start + duration
+    return TraceRecord(
+        initiator=initiator,
+        target=target,
+        kind=kind,
+        burst=burst,
+        issue=start,
+        it_grant=start,
+        it_release=it_release,
+        service_start=it_release,
+        service_end=it_release,
+        ti_grant=it_release,
+        ti_release=it_release + response,
+        complete=it_release + response,
+        critical=critical,
+        stream=stream,
+    )
+
+
+@pytest.fixture
+def simple_trace():
+    """Three targets with known, partially overlapping activity.
+
+    target 0: [0, 10) and [20, 30)
+    target 1: [5, 15)
+    target 2: [40, 50), critical
+    """
+    records = [
+        make_record(initiator=0, target=0, start=0, duration=10),
+        make_record(initiator=0, target=0, start=20, duration=10),
+        make_record(initiator=1, target=1, start=5, duration=10),
+        make_record(initiator=1, target=2, start=40, duration=10, critical=True),
+    ]
+    return TrafficTrace(
+        records, num_initiators=2, num_targets=3, total_cycles=60
+    )

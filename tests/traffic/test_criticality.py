@@ -1,0 +1,66 @@
+"""Unit tests for real-time stream analysis."""
+
+from repro.traffic import TrafficTrace, WindowedTraffic, analyze_criticality
+
+from tests.traffic.conftest import make_record
+
+
+def windowed(records, num_targets, total=100, ws=25, num_initiators=2):
+    trace = TrafficTrace(records, num_initiators, num_targets, total_cycles=total)
+    return WindowedTraffic(trace, window_size=ws)
+
+
+class TestCriticalityAnalysis:
+    def test_no_critical_traffic(self):
+        report = analyze_criticality(
+            windowed([make_record(target=0, start=0, duration=10)], 2)
+        )
+        assert report.critical_targets == ()
+        assert not report.has_conflicts
+
+    def test_single_critical_target_has_no_conflicts(self):
+        report = analyze_criticality(
+            windowed(
+                [make_record(target=0, start=0, duration=10, critical=True)], 2
+            )
+        )
+        assert report.critical_targets == (0,)
+        assert not report.has_conflicts
+
+    def test_overlapping_critical_streams_conflict(self):
+        records = [
+            make_record(initiator=0, target=0, start=0, duration=20, critical=True),
+            make_record(initiator=1, target=1, start=10, duration=20, critical=True),
+        ]
+        report = analyze_criticality(windowed(records, 2))
+        assert report.critical_targets == (0, 1)
+        assert report.conflicting_pairs == ((0, 1),)
+        assert report.has_conflicts
+
+    def test_disjoint_critical_streams_do_not_conflict(self):
+        records = [
+            make_record(initiator=0, target=0, start=0, duration=10, critical=True),
+            make_record(initiator=1, target=1, start=50, duration=10, critical=True),
+        ]
+        report = analyze_criticality(windowed(records, 2))
+        assert report.critical_targets == (0, 1)
+        assert not report.has_conflicts
+
+    def test_non_critical_overlap_is_ignored(self):
+        records = [
+            make_record(initiator=0, target=0, start=0, duration=20, critical=True),
+            # heavy non-critical overlap with target 1's critical window
+            make_record(initiator=0, target=1, start=0, duration=20),
+            make_record(initiator=1, target=1, start=60, duration=10, critical=True),
+        ]
+        report = analyze_criticality(windowed(records, 2))
+        # critical portions ([0,20) on t0 vs [60,70) on t1) never overlap
+        assert not report.has_conflicts
+
+    def test_three_way_conflicts_enumerated_pairwise(self):
+        records = [
+            make_record(initiator=0, target=t, start=0, duration=30, critical=True)
+            for t in range(3)
+        ]
+        report = analyze_criticality(windowed(records, 3))
+        assert set(report.conflicting_pairs) == {(0, 1), (0, 2), (1, 2)}

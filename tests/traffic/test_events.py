@@ -1,0 +1,69 @@
+"""Unit tests for trace records."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traffic import TraceRecord, TransactionKind
+
+from tests.traffic.conftest import make_record
+
+
+class TestTraceRecord:
+    def test_latency_and_occupancy_properties(self):
+        record = make_record(start=10, duration=5, response=3)
+        assert record.latency == 8
+        assert record.it_occupancy == 5
+        assert record.ti_occupancy == 3
+        assert record.queueing_delay == 0
+
+    def test_queueing_delay(self):
+        record = TraceRecord(
+            initiator=0,
+            target=0,
+            kind=TransactionKind.READ,
+            burst=1,
+            issue=0,
+            it_grant=4,
+            it_release=5,
+            service_start=5,
+            service_end=7,
+            ti_grant=7,
+            ti_release=9,
+            complete=9,
+        )
+        assert record.queueing_delay == 4
+        assert record.latency == 9
+
+    def test_non_monotonic_timestamps_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(
+                initiator=0,
+                target=0,
+                kind=TransactionKind.READ,
+                burst=1,
+                issue=5,
+                it_grant=4,  # earlier than issue
+                it_release=6,
+                service_start=6,
+                service_end=7,
+                ti_grant=7,
+                ti_release=8,
+                complete=8,
+            )
+
+    def test_zero_burst_rejected(self):
+        with pytest.raises(TraceError):
+            make_record(burst=0)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(TraceError):
+            make_record(initiator=-1)
+
+    def test_kind_str(self):
+        assert str(TransactionKind.READ) == "read"
+        assert str(TransactionKind.WRITE) == "write"
+
+    def test_records_are_frozen(self):
+        record = make_record()
+        with pytest.raises(AttributeError):
+            record.issue = 99  # type: ignore[misc]

@@ -1,0 +1,140 @@
+"""Unit and property tests for the interval algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError
+from repro.traffic.intervals import (
+    clip,
+    coverage_in_windows,
+    intersect,
+    normalize,
+    total_length,
+    union,
+)
+
+
+def raw_intervals(max_coord=200, max_count=20):
+    """Strategy producing arbitrary (possibly overlapping) interval lists."""
+    pair = st.tuples(
+        st.integers(min_value=0, max_value=max_coord),
+        st.integers(min_value=0, max_value=max_coord),
+    ).map(lambda p: (min(p), max(p)))
+    return st.lists(pair, max_size=max_count)
+
+
+def covered_cycles(intervals, max_coord=200):
+    """Reference coverage computed cycle by cycle."""
+    cells = np.zeros(max_coord + 1, dtype=bool)
+    for start, end in intervals:
+        cells[start:end] = True
+    return cells
+
+
+class TestNormalize:
+    def test_merges_overlapping(self):
+        assert normalize([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_merges_touching(self):
+        assert normalize([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_drops_empty(self):
+        assert normalize([(3, 3), (1, 2)]) == [(1, 2)]
+
+    def test_sorts(self):
+        assert normalize([(10, 12), (0, 2)]) == [(0, 2), (10, 12)]
+
+    def test_rejects_inverted(self):
+        with pytest.raises(TraceError):
+            normalize([(5, 2)])
+
+    @given(raw_intervals())
+    def test_normalized_is_disjoint_sorted_and_preserves_coverage(self, intervals):
+        result = normalize(intervals)
+        for (s1, e1), (s2, e2) in zip(result, result[1:]):
+            assert e1 < s2  # strictly disjoint and non-adjacent
+        assert np.array_equal(covered_cycles(result), covered_cycles(intervals))
+        assert total_length(result) == int(covered_cycles(intervals).sum())
+
+
+class TestIntersect:
+    def test_basic(self):
+        a = normalize([(0, 10), (20, 30)])
+        b = normalize([(5, 25)])
+        assert intersect(a, b) == [(5, 10), (20, 25)]
+
+    def test_disjoint_gives_empty(self):
+        assert intersect([(0, 5)], [(5, 10)]) == []
+
+    @given(raw_intervals(), raw_intervals())
+    def test_matches_cellwise_and(self, a, b):
+        na, nb = normalize(a), normalize(b)
+        result = intersect(na, nb)
+        expected = covered_cycles(na) & covered_cycles(nb)
+        assert np.array_equal(covered_cycles(result), expected)
+
+    @given(raw_intervals(), raw_intervals())
+    def test_symmetric(self, a, b):
+        na, nb = normalize(a), normalize(b)
+        assert intersect(na, nb) == intersect(nb, na)
+
+    @given(raw_intervals(), raw_intervals())
+    def test_bounded_by_operands(self, a, b):
+        na, nb = normalize(a), normalize(b)
+        common = total_length(intersect(na, nb))
+        assert common <= min(total_length(na), total_length(nb))
+
+
+class TestUnionClip:
+    @given(raw_intervals(), raw_intervals())
+    def test_union_matches_cellwise_or(self, a, b):
+        na, nb = normalize(a), normalize(b)
+        expected = covered_cycles(na) | covered_cycles(nb)
+        assert np.array_equal(covered_cycles(union(na, nb)), expected)
+
+    def test_clip(self):
+        assert clip([(0, 10), (20, 30)], 5, 25) == [(5, 10), (20, 25)]
+
+    def test_clip_inverted_window_rejected(self):
+        with pytest.raises(TraceError):
+            clip([(0, 5)], 10, 2)
+
+    @given(raw_intervals(), st.integers(0, 200), st.integers(0, 200))
+    def test_clip_length_bounded_by_window(self, a, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        clipped = clip(normalize(a), lo, hi)
+        assert total_length(clipped) <= hi - lo
+
+
+class TestCoverageInWindows:
+    def test_single_window(self):
+        cover = coverage_in_windows([(2, 7)], window_size=10, num_windows=1)
+        assert cover.tolist() == [5]
+
+    def test_interval_spanning_windows(self):
+        cover = coverage_in_windows([(8, 23)], window_size=10, num_windows=3)
+        assert cover.tolist() == [2, 10, 3]
+
+    def test_interval_on_window_boundary(self):
+        cover = coverage_in_windows([(10, 20)], window_size=10, num_windows=3)
+        assert cover.tolist() == [0, 10, 0]
+
+    def test_beyond_horizon_rejected(self):
+        with pytest.raises(TraceError):
+            coverage_in_windows([(0, 31)], window_size=10, num_windows=3)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(TraceError):
+            coverage_in_windows([], window_size=0, num_windows=1)
+        with pytest.raises(TraceError):
+            coverage_in_windows([], window_size=5, num_windows=0)
+
+    @given(raw_intervals(max_coord=199), st.integers(1, 50))
+    def test_sum_equals_total_length_and_entries_bounded(self, intervals, ws):
+        norm = normalize(intervals)
+        num_windows = -(-200 // ws)  # ceil
+        cover = coverage_in_windows(norm, ws, num_windows)
+        assert int(cover.sum()) == total_length(norm)
+        assert (cover >= 0).all()
+        assert (cover <= ws).all()

@@ -1,0 +1,94 @@
+"""Unit tests for trace persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traffic import (
+    SyntheticTrafficConfig,
+    generate_synthetic_trace,
+    load_trace_jsonl,
+    save_trace_jsonl,
+)
+from repro.traffic.trace import TrafficTrace
+
+from tests.traffic.conftest import make_record
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self, tmp_path, simple_trace):
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(simple_trace, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded.records == simple_trace.records
+        assert loaded.num_initiators == simple_trace.num_initiators
+        assert loaded.num_targets == simple_trace.num_targets
+        assert loaded.total_cycles == simple_trace.total_cycles
+        assert loaded.target_names == simple_trace.target_names
+
+    def test_synthetic_roundtrip(self, tmp_path):
+        trace = generate_synthetic_trace(
+            SyntheticTrafficConfig(total_cycles=10_000)
+        )
+        path = tmp_path / "synthetic.jsonl"
+        save_trace_jsonl(trace, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded.records == trace.records
+
+    def test_criticality_and_stream_survive(self, tmp_path):
+        records = [make_record(critical=True, stream="arm0->pm0")]
+        trace = TrafficTrace(records, 1, 1, total_cycles=100)
+        path = tmp_path / "crit.jsonl"
+        save_trace_jsonl(trace, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded.records[0].critical
+        assert loaded.records[0].stream == "arm0->pm0"
+
+
+class TestMalformedFiles:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            load_trace_jsonl(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError):
+            load_trace_jsonl(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "wrong.jsonl"
+        path.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(TraceError):
+            load_trace_jsonl(path)
+
+    def test_malformed_record_rejected(self, tmp_path, simple_trace):
+        path = tmp_path / "trunc.jsonl"
+        save_trace_jsonl(simple_trace, path)
+        lines = path.read_text().splitlines()
+        lines[1] = "{broken"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError):
+            load_trace_jsonl(path)
+
+    def test_missing_field_rejected(self, tmp_path, simple_trace):
+        path = tmp_path / "missing.jsonl"
+        save_trace_jsonl(simple_trace, path)
+        lines = path.read_text().splitlines()
+        row = json.loads(lines[1])
+        del row["issue"]
+        lines[1] = json.dumps(row)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError):
+            load_trace_jsonl(path)
+
+    def test_record_count_mismatch_rejected(self, tmp_path, simple_trace):
+        path = tmp_path / "count.jsonl"
+        save_trace_jsonl(simple_trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one record
+        with pytest.raises(TraceError):
+            load_trace_jsonl(path)

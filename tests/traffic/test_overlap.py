@@ -1,0 +1,115 @@
+"""Unit and property tests for pairwise overlap (wo[i][j][m], OM)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WindowError
+from repro.traffic import PairwiseOverlap, TrafficTrace, WindowedTraffic
+
+from tests.traffic.conftest import make_record
+from tests.traffic.test_windows import random_trace
+
+
+class TestOverlapKnownValues:
+    def test_overlapping_pair(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        overlap = PairwiseOverlap(windowed)
+        # targets 0 [0,10)+[20,30) and 1 [5,15): overlap [5,10) in window 0
+        assert overlap.wo[0, 1].tolist() == [5, 0, 0]
+        assert overlap.max_window_overlap(0, 1) == 5
+        assert overlap.max_window_fraction(0, 1) == pytest.approx(0.25)
+
+    def test_disjoint_pair_has_zero_overlap(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        overlap = PairwiseOverlap(windowed)
+        assert overlap.wo[0, 2].sum() == 0
+        assert overlap.wo[1, 2].sum() == 0
+
+    def test_overlap_matrix_is_window_sum(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        overlap = PairwiseOverlap(windowed)
+        assert np.array_equal(overlap.overlap_matrix, overlap.wo.sum(axis=2))
+        assert overlap.overlap_matrix[0, 1] == 5
+
+    def test_pairs_exceeding_threshold(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        overlap = PairwiseOverlap(windowed)
+        assert overlap.pairs_exceeding(0.0) == [(0, 1)]
+        assert overlap.pairs_exceeding(0.20) == [(0, 1)]
+        assert overlap.pairs_exceeding(0.25) == []  # strict inequality
+
+    def test_negative_threshold_rejected(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        with pytest.raises(WindowError):
+            PairwiseOverlap(windowed).pairs_exceeding(-0.1)
+
+    def test_out_of_range_index_rejected(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        with pytest.raises(WindowError):
+            PairwiseOverlap(windowed).max_window_overlap(0, 99)
+
+    def test_critical_only_overlap(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        overlap = PairwiseOverlap(windowed, critical_only=True)
+        # only target 2 has critical traffic; no critical pair overlaps
+        assert overlap.wo.sum() == 0
+
+
+def concurrent_trace():
+    """Three targets all active in [0, 30) -> full mutual overlap."""
+    records = [
+        make_record(initiator=0, target=t, start=0, duration=30) for t in range(3)
+    ]
+    return TrafficTrace(records, 1, 3, total_cycles=40)
+
+
+class TestOverlapStructure:
+    def test_full_overlap(self):
+        windowed = WindowedTraffic(concurrent_trace(), window_size=10)
+        overlap = PairwiseOverlap(windowed)
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert overlap.wo[i, j].tolist() == [10, 10, 10, 0]
+
+    def test_diagonal_is_zero(self):
+        windowed = WindowedTraffic(concurrent_trace(), window_size=10)
+        overlap = PairwiseOverlap(windowed)
+        assert np.array_equal(np.diagonal(overlap.overlap_matrix), np.zeros(3))
+
+
+class TestOverlapProperties:
+    @settings(max_examples=30)
+    @given(random_trace(), st.integers(1, 60))
+    def test_symmetry_and_bounds(self, trace, window_size):
+        windowed = WindowedTraffic(trace, window_size=window_size)
+        overlap = PairwiseOverlap(windowed)
+        wo = overlap.wo
+        assert np.array_equal(wo, wo.transpose(1, 0, 2))
+        assert (wo >= 0).all()
+        # overlap of (i, j) in window m cannot exceed either stream's comm
+        comm = windowed.comm
+        for i in range(trace.num_targets):
+            for j in range(trace.num_targets):
+                if i == j:
+                    continue
+                assert (wo[i, j] <= comm[i]).all()
+                assert (wo[i, j] <= comm[j]).all()
+
+    @settings(max_examples=30)
+    @given(random_trace(), st.integers(1, 60))
+    def test_om_equals_whole_trace_intersection(self, trace, window_size):
+        from repro.traffic.intervals import intersect, total_length
+
+        windowed = WindowedTraffic(trace, window_size=window_size)
+        overlap = PairwiseOverlap(windowed)
+        om = overlap.overlap_matrix
+        for i in range(trace.num_targets):
+            for j in range(trace.num_targets):
+                if i == j:
+                    continue
+                expected = total_length(
+                    intersect(trace.target_activity(i), trace.target_activity(j))
+                )
+                assert om[i, j] == expected

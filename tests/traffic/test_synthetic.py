@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic burst-traffic generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    PairwiseOverlap,
+    SyntheticTrafficConfig,
+    WindowedTraffic,
+    generate_synthetic_trace,
+)
+
+
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        SyntheticTrafficConfig().validate()
+
+    def test_default_groups_are_pairs(self):
+        groups = SyntheticTrafficConfig(num_initiators=6).resolved_groups()
+        assert groups == ((0, 1), (2, 3), (4, 5))
+
+    def test_odd_initiators_get_singleton_tail(self):
+        groups = SyntheticTrafficConfig(num_initiators=5).resolved_groups()
+        assert groups == ((0, 1), (2, 3), (4,))
+
+    def test_duplicate_group_member_rejected(self):
+        config = SyntheticTrafficConfig(sync_groups=((0, 1), (1, 2)))
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_out_of_range_group_member_rejected(self):
+        config = SyntheticTrafficConfig(num_initiators=2, sync_groups=((0, 5),))
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_out_of_range_critical_target_rejected(self):
+        config = SyntheticTrafficConfig(num_targets=4, critical_targets=(9,))
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_bad_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticTrafficConfig(burst_jitter=1.5).validate()
+
+    def test_too_short_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticTrafficConfig(total_cycles=10, burst_cycles=100).validate()
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        config = SyntheticTrafficConfig(total_cycles=20_000, seed=7)
+        first = generate_synthetic_trace(config)
+        second = generate_synthetic_trace(config)
+        assert first.records == second.records
+
+    def test_different_seeds_differ(self):
+        base = SyntheticTrafficConfig(total_cycles=20_000, seed=1)
+        other = SyntheticTrafficConfig(total_cycles=20_000, seed=2)
+        assert generate_synthetic_trace(base).records != generate_synthetic_trace(
+            other
+        ).records
+
+    def test_platform_shape(self):
+        trace = generate_synthetic_trace(
+            SyntheticTrafficConfig(total_cycles=20_000)
+        )
+        assert trace.num_initiators == 10
+        assert trace.num_targets == 10
+        assert trace.total_cycles == 20_000
+        assert len(trace) > 0
+
+    def test_private_memory_pattern(self):
+        trace = generate_synthetic_trace(
+            SyntheticTrafficConfig(total_cycles=20_000)
+        )
+        for record in trace.records:
+            assert record.target == record.initiator % 10
+
+    def test_burst_durations_near_configured_value(self):
+        config = SyntheticTrafficConfig(total_cycles=50_000, burst_cycles=1_000)
+        trace = generate_synthetic_trace(config)
+        # Activity intervals per target should approximate burst length:
+        # within jitter and packet-gap fragmentation, bursts stay between
+        # 0.3x and 2.5x of the nominal duration.
+        for target in range(trace.num_targets):
+            for start, end in trace.target_activity(target):
+                assert end - start <= 2.5 * config.burst_cycles
+
+    def test_sync_group_members_overlap_heavily(self):
+        config = SyntheticTrafficConfig(
+            total_cycles=50_000, sync_groups=((0, 1),) + tuple((i,) for i in range(2, 10))
+        )
+        trace = generate_synthetic_trace(config)
+        windowed = WindowedTraffic(trace, window_size=2_000)
+        overlap = PairwiseOverlap(windowed)
+        om = overlap.overlap_matrix
+        # grouped initiators 0,1 -> targets 0,1 overlap far more than an
+        # ungrouped pair such as (2, 3)
+        assert om[0, 1] > 3 * max(1, om[2, 3])
+
+    def test_critical_marking(self):
+        config = SyntheticTrafficConfig(total_cycles=20_000, critical_targets=(3,))
+        trace = generate_synthetic_trace(config)
+        assert trace.critical_targets() == [3]
+
+    def test_records_fit_within_period(self):
+        trace = generate_synthetic_trace(
+            SyntheticTrafficConfig(total_cycles=20_000)
+        )
+        assert all(rec.complete <= trace.total_cycles for rec in trace.records)

@@ -1,0 +1,92 @@
+"""Unit tests for the TrafficTrace container."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traffic import TrafficTrace
+
+from tests.traffic.conftest import make_record
+
+
+class TestTrafficTraceConstruction:
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(TraceError):
+            TrafficTrace([make_record(target=3)], 1, 3, total_cycles=100)
+
+    def test_rejects_out_of_range_initiator(self):
+        with pytest.raises(TraceError):
+            TrafficTrace([make_record(initiator=2)], 2, 1, total_cycles=100)
+
+    def test_rejects_record_beyond_period(self):
+        with pytest.raises(TraceError):
+            TrafficTrace([make_record(start=95, duration=10)], 1, 1, total_cycles=100)
+
+    def test_rejects_empty_platform(self):
+        with pytest.raises(TraceError):
+            TrafficTrace([], 0, 1, total_cycles=10)
+
+    def test_rejects_bad_name_lengths(self):
+        with pytest.raises(TraceError):
+            TrafficTrace([], 1, 2, total_cycles=10, target_names=["only-one"])
+
+    def test_default_names(self):
+        trace = TrafficTrace([], 2, 3, total_cycles=10)
+        assert trace.target_names == ["t0", "t1", "t2"]
+        assert trace.initiator_names == ["i0", "i1"]
+
+    def test_records_sorted_by_issue(self):
+        records = [
+            make_record(start=50, duration=2),
+            make_record(start=10, duration=2),
+        ]
+        trace = TrafficTrace(records, 1, 1, total_cycles=100)
+        issues = [rec.issue for rec in trace.records]
+        assert issues == sorted(issues)
+
+
+class TestTrafficTraceQueries:
+    def test_activity_merges_contiguous_packets(self, simple_trace):
+        assert simple_trace.target_activity(0) == [(0, 10), (20, 30)]
+
+    def test_busy_cycles(self, simple_trace):
+        assert simple_trace.target_busy_cycles(0) == 20
+        assert simple_trace.target_busy_cycles(1) == 10
+
+    def test_records_filtering(self, simple_trace):
+        assert len(simple_trace.records_to_target(0)) == 2
+        assert len(simple_trace.records_from_initiator(1)) == 2
+
+    def test_critical_targets(self, simple_trace):
+        assert simple_trace.critical_targets() == [2]
+
+    def test_critical_only_activity(self, simple_trace):
+        assert simple_trace.target_activity(2, critical_only=True) == [(40, 50)]
+        assert simple_trace.target_activity(0, critical_only=True) == []
+
+    def test_latencies(self, simple_trace):
+        assert len(simple_trace.latencies()) == len(simple_trace)
+        assert all(lat > 0 for lat in simple_trace.latencies())
+
+    def test_out_of_range_queries_rejected(self, simple_trace):
+        with pytest.raises(TraceError):
+            simple_trace.target_activity(7)
+        with pytest.raises(TraceError):
+            simple_trace.initiator_activity(5)
+
+
+class TestMirroredTrace:
+    def test_roles_swap(self, simple_trace):
+        mirror = simple_trace.mirrored()
+        assert mirror.num_targets == simple_trace.num_initiators
+        assert mirror.num_initiators == simple_trace.num_targets
+        assert mirror.target_names == simple_trace.initiator_names
+
+    def test_mirror_activity_is_response_traffic(self, simple_trace):
+        mirror = simple_trace.mirrored()
+        # Initiator 0's responses: records at [10, 11) and [30, 31).
+        assert mirror.target_activity(0) == [(10, 11), (30, 31)]
+
+    def test_mirror_preserves_record_count_and_criticality(self, simple_trace):
+        mirror = simple_trace.mirrored()
+        assert len(mirror) == len(simple_trace)
+        assert mirror.critical_targets() == [1]  # initiator 1 carried critical

@@ -1,0 +1,192 @@
+"""Tests for variable-size windows and phase-aligned boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError, WindowError
+from repro.traffic import (
+    PairwiseOverlap,
+    TrafficTrace,
+    WindowedTraffic,
+    phase_aligned_boundaries,
+)
+from repro.traffic.intervals import coverage_in_bins, normalize, total_length
+
+from tests.traffic.conftest import make_record
+from tests.traffic.test_intervals import raw_intervals
+from tests.traffic.test_windows import random_trace
+
+
+class TestCoverageInBins:
+    def test_known_values(self):
+        cover = coverage_in_bins([(2, 12)], [0, 5, 8, 20])
+        assert cover.tolist() == [3, 3, 4]
+
+    def test_interval_on_edge(self):
+        cover = coverage_in_bins([(5, 8)], [0, 5, 8, 20])
+        assert cover.tolist() == [0, 3, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TraceError):
+            coverage_in_bins([(0, 25)], [0, 5, 20])
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(TraceError):
+            coverage_in_bins([], [0, 5, 5])
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(TraceError):
+            coverage_in_bins([], [0])
+
+    @given(raw_intervals(max_coord=199), st.lists(
+        st.integers(1, 199), min_size=1, max_size=8, unique=True
+    ))
+    def test_sum_preserved_and_bounded(self, intervals, inner_edges):
+        norm = normalize(intervals)
+        edges = [0] + sorted(inner_edges) + [200]
+        cover = coverage_in_bins(norm, edges)
+        assert int(cover.sum()) == total_length(norm)
+        widths = np.diff(edges)
+        assert (cover <= widths).all()
+        assert (cover >= 0).all()
+
+
+class TestWindowedTrafficBoundaries:
+    def trace(self):
+        records = [
+            make_record(target=0, start=0, duration=30),
+            make_record(target=1, start=50, duration=40),
+        ]
+        return TrafficTrace(records, 1, 2, total_cycles=100)
+
+    def test_variable_capacities(self):
+        windowed = WindowedTraffic(self.trace(), boundaries=[0, 40, 100])
+        assert windowed.num_windows == 2
+        assert windowed.capacities.tolist() == [40, 60]
+        assert windowed.window_size == 60  # the largest capacity
+        assert not windowed.is_uniform
+        assert windowed.comm[0].tolist() == [30, 0]
+        assert windowed.comm[1].tolist() == [0, 40]
+
+    def test_bandwidth_bound_uses_per_window_capacity(self):
+        # two concurrent 30-cycle streams: 60 cycles of demand fit a
+        # single 100-cycle window, but not a 40-cycle one.
+        records = [
+            make_record(initiator=0, target=0, start=0, duration=30),
+            make_record(initiator=0, target=1, start=10, duration=30),
+        ]
+        trace = TrafficTrace(records, 1, 2, total_cycles=100)
+        loose = WindowedTraffic(trace, boundaries=[0, 100])
+        assert loose.min_buses_bandwidth_bound() == 1
+        tight = WindowedTraffic(trace, boundaries=[0, 40, 100])
+        assert tight.min_buses_bandwidth_bound() == 2
+
+    def test_uniform_equivalence(self):
+        uniform = WindowedTraffic(self.trace(), window_size=50)
+        explicit = WindowedTraffic(self.trace(), boundaries=[0, 50, 100])
+        assert np.array_equal(uniform.comm, explicit.comm)
+        assert uniform.min_buses_bandwidth_bound() == (
+            explicit.min_buses_bandwidth_bound()
+        )
+
+    def test_overlap_respects_boundaries(self):
+        records = [
+            make_record(initiator=0, target=0, start=0, duration=60),
+            make_record(initiator=0, target=1, start=30, duration=60),
+        ]
+        trace = TrafficTrace(records, 1, 2, total_cycles=100)
+        windowed = WindowedTraffic(trace, boundaries=[0, 30, 60, 100])
+        overlap = PairwiseOverlap(windowed)
+        assert overlap.wo[0, 1].tolist() == [0, 30, 0]
+
+    def test_bad_boundaries_rejected(self):
+        trace = self.trace()
+        with pytest.raises(WindowError):
+            WindowedTraffic(trace, boundaries=[10, 50, 100])  # not from 0
+        with pytest.raises(WindowError):
+            WindowedTraffic(trace, boundaries=[0, 50, 50, 100])  # flat step
+        with pytest.raises(WindowError):
+            WindowedTraffic(trace, boundaries=[0, 50])  # does not cover
+        with pytest.raises(WindowError):
+            WindowedTraffic(trace, window_size=10, boundaries=[0, 100])
+
+    def test_window_size_still_required_without_boundaries(self):
+        with pytest.raises(WindowError):
+            WindowedTraffic(self.trace())
+
+    @settings(max_examples=25)
+    @given(random_trace())
+    def test_comm_invariants_with_variable_windows(self, trace):
+        third = max(1, trace.total_cycles // 3)
+        boundaries = [0, third, 2 * third, trace.total_cycles]
+        windowed = WindowedTraffic(trace, boundaries=boundaries)
+        comm = windowed.comm
+        assert (comm >= 0).all()
+        assert (comm <= windowed.capacities).all()
+        for target in range(trace.num_targets):
+            assert comm[target].sum() == trace.target_busy_cycles(target)
+
+
+class TestPhaseAlignedBoundaries:
+    def bursty_trace(self):
+        records = []
+        for phase in range(4):
+            start = phase * 1_000
+            records.append(make_record(target=0, start=start, duration=300))
+        return TrafficTrace(records, 1, 1, total_cycles=4_000)
+
+    def test_covers_whole_trace(self):
+        trace = self.bursty_trace()
+        edges = phase_aligned_boundaries(trace, min_window=50, max_window=800)
+        assert edges[0] == 0
+        assert edges[-1] == trace.total_cycles
+        assert all(a < b for a, b in zip(edges, edges[1:]))
+
+    def test_boundaries_land_on_phase_edges(self):
+        trace = self.bursty_trace()
+        edges = phase_aligned_boundaries(trace, min_window=50, max_window=800)
+        # burst edges [1000, 2000, 3000] separate idle gaps; the record
+        # activity ends at start + 300 so those points must be edges
+        for burst_start in (1_000, 2_000, 3_000):
+            assert burst_start in edges
+
+    def test_window_size_bounds_respected(self):
+        trace = self.bursty_trace()
+        min_window, max_window = 100, 600
+        edges = phase_aligned_boundaries(
+            trace, min_window=min_window, max_window=max_window
+        )
+        widths = [b - a for a, b in zip(edges, edges[1:])]
+        assert all(width >= min_window for width in widths[:-1])
+        assert all(width <= max_window + min_window for width in widths)
+
+    def test_feeds_windowed_traffic(self):
+        trace = self.bursty_trace()
+        edges = phase_aligned_boundaries(trace, min_window=50, max_window=800)
+        windowed = WindowedTraffic(trace, boundaries=edges)
+        assert windowed.comm.sum() == trace.target_busy_cycles(0)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(WindowError):
+            phase_aligned_boundaries(self.bursty_trace(), min_window=0)
+        with pytest.raises(WindowError):
+            phase_aligned_boundaries(
+                self.bursty_trace(), min_window=100, max_window=50
+            )
+
+    @settings(max_examples=20)
+    @given(random_trace())
+    def test_properties_on_random_traces(self, trace):
+        edges = phase_aligned_boundaries(
+            trace, min_window=10, max_window=80, min_gap=8
+        )
+        assert edges[0] == 0
+        assert edges[-1] == trace.total_cycles
+        widths = np.diff(edges)
+        assert (widths > 0).all()
+        windowed = WindowedTraffic(trace, boundaries=edges)
+        for target in range(trace.num_targets):
+            assert windowed.comm[target].sum() == trace.target_busy_cycles(
+                target
+            )

@@ -1,0 +1,142 @@
+"""Unit and property tests for window segmentation (comm[i][m])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WindowError
+from repro.traffic import TrafficTrace, WindowedTraffic
+
+from tests.traffic.conftest import make_record
+
+
+class TestWindowGeometry:
+    def test_window_count_ceils(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=25)
+        assert windowed.num_windows == 3  # 60 cycles / 25 -> 3 windows
+
+    def test_window_larger_than_trace_is_clamped(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=10_000)
+        assert windowed.window_size == simple_trace.total_cycles
+        assert windowed.num_windows == 1
+
+    def test_zero_window_rejected(self, simple_trace):
+        with pytest.raises(WindowError):
+            WindowedTraffic(simple_trace, window_size=0)
+
+    def test_explicit_num_windows_must_cover(self, simple_trace):
+        with pytest.raises(WindowError):
+            WindowedTraffic(simple_trace, window_size=25, num_windows=2)
+
+
+class TestCommMatrix:
+    def test_known_values(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        # target 0 active [0,10) and [20,30): windows of 20 cycles
+        assert windowed.comm[0].tolist() == [10, 10, 0]
+        # target 1 active [5,15)
+        assert windowed.comm[1].tolist() == [10, 0, 0]
+        # target 2 active [40,50)
+        assert windowed.comm[2].tolist() == [0, 0, 10]
+
+    def test_row_sums_equal_busy_cycles(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=7)
+        for target in range(simple_trace.num_targets):
+            assert windowed.comm[target].sum() == simple_trace.target_busy_cycles(
+                target
+            )
+
+    def test_entries_bounded_by_window_size(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=7)
+        assert (windowed.comm <= 7).all()
+        assert (windowed.comm >= 0).all()
+
+    def test_single_window_degenerates_to_average(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=60)
+        assert windowed.comm[:, 0].tolist() == [20, 10, 10]
+
+    def test_critical_comm_counts_only_critical(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        assert windowed.critical_comm[0].sum() == 0
+        assert windowed.critical_comm[2].sum() == 10
+
+    def test_utilization_in_unit_range(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        util = windowed.utilization()
+        assert (util >= 0).all() and (util <= 1).all()
+        assert util[0, 0] == pytest.approx(0.5)
+
+
+class TestBandwidthBound:
+    def test_bound_counts_concurrent_demand(self, simple_trace):
+        # Window 20: targets 0 and 1 together need 20 cycles in window 0 ->
+        # fits one bus; bound stays 1.
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        assert windowed.min_buses_bandwidth_bound() == 1
+
+    def test_bound_exceeds_one_when_demand_does(self):
+        records = [
+            make_record(initiator=0, target=0, start=0, duration=10),
+            make_record(initiator=1, target=1, start=0, duration=10),
+        ]
+        trace = TrafficTrace(records, 2, 2, total_cycles=12)
+        windowed = WindowedTraffic(trace, window_size=12)
+        # 20 cycles of demand in a 12-cycle window -> at least 2 buses.
+        assert windowed.min_buses_bandwidth_bound() == 2
+
+    def test_windows_exceeding(self, simple_trace):
+        windowed = WindowedTraffic(simple_trace, window_size=20)
+        assert windowed.windows_exceeding(0, 0.25).tolist() == [0, 1]
+        assert windowed.windows_exceeding(0, 0.5).tolist() == []
+        with pytest.raises(WindowError):
+            windowed.windows_exceeding(9, 0.5)
+
+
+@st.composite
+def random_trace(draw):
+    """A trace with random disjoint-per-target record placement."""
+    num_targets = draw(st.integers(1, 4))
+    total_cycles = draw(st.integers(50, 300))
+    records = []
+    for target in range(num_targets):
+        cursor = draw(st.integers(0, 10))
+        for _ in range(draw(st.integers(0, 6))):
+            duration = draw(st.integers(1, 20))
+            if cursor + duration + 2 > total_cycles:
+                break
+            records.append(
+                make_record(target=target, start=cursor, duration=duration, response=1)
+            )
+            cursor += duration + draw(st.integers(1, 15))
+    return TrafficTrace(records, 1, num_targets, total_cycles=total_cycles)
+
+
+class TestCommProperties:
+    @settings(max_examples=40)
+    @given(random_trace(), st.integers(1, 100))
+    def test_comm_invariants_hold_for_any_window_size(self, trace, window_size):
+        windowed = WindowedTraffic(trace, window_size=window_size)
+        comm = windowed.comm
+        assert comm.shape == (trace.num_targets, windowed.num_windows)
+        assert (comm >= 0).all()
+        assert (comm <= windowed.window_size).all()
+        for target in range(trace.num_targets):
+            assert comm[target].sum() == trace.target_busy_cycles(target)
+
+    @settings(max_examples=25)
+    @given(random_trace(), st.integers(1, 50), st.integers(1, 6))
+    def test_bandwidth_bound_monotone_under_nested_refinement(
+        self, trace, fine_ws, factor
+    ):
+        # When fine windows tile coarse windows exactly, refining the
+        # analysis can only reveal more peaks, never fewer buses: the
+        # coarse demand is the sum of at most `factor` fine demands.
+        fine = WindowedTraffic(trace, window_size=fine_ws)
+        coarse = WindowedTraffic(
+            trace, window_size=min(fine.window_size * factor, trace.total_cycles)
+        )
+        if coarse.window_size % fine.window_size == 0:
+            assert (
+                fine.min_buses_bandwidth_bound()
+                >= coarse.min_buses_bandwidth_bound()
+            )

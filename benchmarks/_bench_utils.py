@@ -1,13 +1,47 @@
 """Shared constants and output helpers for the experiment benches."""
 
+import json
+import os
 from pathlib import Path
+
+from repro.exec import ExecutionEngine
 
 PAPER_APPS = ("mat1", "mat2", "fft", "qsort", "des")
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+TIMINGS_FILE = RESULTS_DIR / "timings.json"
 
 
 def emit(results_dir: Path, name: str, text: str) -> None:
     """Print a bench's table and persist it under results/."""
     print(f"\n{text}\n")
     (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def engine_from_env() -> ExecutionEngine:
+    """Execution engine configured from the environment.
+
+    ``REPRO_BENCH_JOBS`` sets the worker count (``0`` = one per CPU)
+    and ``REPRO_BENCH_CACHE_DIR`` points at a result cache. Both unset
+    gives a serial, uncached engine -- i.e. exactly the historical
+    in-process behaviour, so default timings stay comparable across
+    runs.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+    return ExecutionEngine(jobs=jobs, cache=cache_dir)
+
+
+def write_timings(entries, path: Path = TIMINGS_FILE) -> None:
+    """Persist benchmark timing stats as machine-readable JSON.
+
+    ``entries`` is a list of flat per-bench stat dictionaries (name,
+    mean, min, max, rounds, ...). CI archives the file as a per-run
+    perf artifact.
+    """
+    path.parent.mkdir(exist_ok=True)
+    payload = {"format": "repro-bench-timings-v1", "benchmarks": list(entries)}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

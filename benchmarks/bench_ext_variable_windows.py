@@ -18,7 +18,7 @@ synthetic benchmark against uniform windows at three resolutions:
 
 from repro.analysis import format_table
 from repro.apps.synthetic import build_synthetic
-from repro.core import CrossbarDesignProblem, CrossbarSynthesizer, SynthesisConfig
+from repro.core import CrossbarSynthesizer, SynthesisConfig
 from repro.traffic import phase_aligned_boundaries
 
 from _bench_utils import emit

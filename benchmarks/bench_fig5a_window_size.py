@@ -12,7 +12,7 @@ from repro.analysis import format_table, window_size_sweep, xy_plot
 from repro.apps.synthetic import synthetic_trace
 from repro.core import SynthesisConfig
 
-from _bench_utils import emit
+from _bench_utils import emit, engine_from_env
 
 BURST = 1_000
 WINDOWS = [200, 300, 400, 750, 1_000, 2_000, 3_000, 4_000, 50_000, 120_000]
@@ -23,9 +23,10 @@ def test_fig5a_window_size_sweep(benchmark, results_dir):
         burst_cycles=BURST, total_cycles=120_000, seed=3
     )
     config = SynthesisConfig(max_targets_per_bus=None)
+    engine = engine_from_env()
 
     points = benchmark.pedantic(
-        lambda: window_size_sweep(trace, WINDOWS, config),
+        lambda: window_size_sweep(trace, WINDOWS, config, engine=engine),
         rounds=1,
         iterations=1,
     )

@@ -14,7 +14,7 @@ from repro.analysis import bar_chart, format_table, overlap_threshold_sweep
 from repro.apps.synthetic import synthetic_trace
 from repro.core import SynthesisConfig
 
-from _bench_utils import emit
+from _bench_utils import emit, engine_from_env
 
 THRESHOLDS = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50]
 WINDOW = 2_000  # twice the typical burst
@@ -23,9 +23,10 @@ WINDOW = 2_000  # twice the typical burst
 def test_fig6_overlap_threshold_sweep(benchmark, results_dir):
     trace = synthetic_trace(burst_cycles=1_000, total_cycles=120_000, seed=3)
     config = SynthesisConfig(max_targets_per_bus=None)
+    engine = engine_from_env()
 
     points = benchmark.pedantic(
-        lambda: overlap_threshold_sweep(trace, THRESHOLDS, WINDOW, config),
+        lambda: overlap_threshold_sweep(trace, THRESHOLDS, WINDOW, config, engine=engine),
         rounds=1,
         iterations=1,
     )

@@ -16,7 +16,7 @@ import statistics
 from repro.analysis import format_table
 from repro.core import CrossbarSynthesizer, SynthesisConfig
 from repro.core.binding import random_feasible_binding
-from repro.core.spec import BusBinding, CrossbarDesign
+from repro.core.spec import CrossbarDesign
 
 from _bench_utils import PAPER_APPS, emit
 

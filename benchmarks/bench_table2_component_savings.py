@@ -12,7 +12,6 @@ Paper values (total buses across both crossbars):
 The timed kernel designs all five applications.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import CrossbarSynthesizer, SynthesisConfig

@@ -4,7 +4,9 @@ Every bench regenerates one table or figure of the paper. Expensive
 artifacts (full-crossbar traces) are computed once per session; each
 bench writes its regenerated table/series to ``benchmarks/results/`` so
 the output survives pytest's capture and can be diffed against
-EXPERIMENTS.md.
+EXPERIMENTS.md. At session end the collected timing statistics are
+additionally dumped to ``benchmarks/results/timings.json`` in a
+machine-readable form for CI to archive.
 """
 
 from pathlib import Path
@@ -13,7 +15,7 @@ import pytest
 
 from repro.apps import build_application
 
-from _bench_utils import PAPER_APPS, RESULTS_DIR
+from _bench_utils import PAPER_APPS, RESULTS_DIR, write_timings
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +32,21 @@ def app_traces():
         app = build_application(name)
         traces[name] = (app, app.simulate_full_crossbar().trace)
     return traces
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit machine-readable JSON timings for every bench that ran."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None or not benchmark_session.benchmarks:
+        return
+    entries = []
+    for bench in benchmark_session.benchmarks:
+        try:
+            entries.append(bench.as_dict(include_data=False, flat=True))
+        except Exception:  # never let timing export break a bench run
+            continue
+    if entries:
+        try:
+            write_timings(entries)
+        except OSError:
+            pass

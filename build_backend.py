@@ -41,6 +41,11 @@ Root-Is-Purelib: true
 Tag: {TAG}
 """
 
+ENTRY_POINTS = """\
+[console_scripts]
+repro = repro.cli:main
+"""
+
 
 def _record_entry(arcname: str, data: bytes) -> str:
     digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest())
@@ -61,6 +66,7 @@ def _dist_info_files() -> dict[str, bytes]:
     return {
         f"{DIST_INFO}/METADATA": METADATA.encode(),
         f"{DIST_INFO}/WHEEL": WHEEL_FILE.encode(),
+        f"{DIST_INFO}/entry_points.txt": ENTRY_POINTS.encode(),
     }
 
 

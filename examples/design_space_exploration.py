@@ -6,9 +6,16 @@ analysis window size and the overlap threshold and watch the crossbar
 size move between the full-crossbar and average-traffic extremes. The
 window-size spectrum *is* the design spectrum: tiny windows behave like
 peak-bandwidth design, whole-run windows like average-traffic design.
+
+Both sweeps route through the execution engine: run with ``--jobs 8``
+to fan points out over worker processes, and ``--cache-dir .cache`` to
+make re-runs (near-)instant -- already-solved points are fetched from
+the content-addressed result cache instead of being re-solved.
 """
 
-from repro import SynthesisConfig
+import argparse
+
+from repro import ExecutionEngine, SynthesisConfig
 from repro.analysis import (
     bar_chart,
     format_table,
@@ -21,6 +28,14 @@ BURST_CYCLES = 1_000
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial, 0 = per CPU)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory")
+    args = parser.parse_args()
+    engine = ExecutionEngine(jobs=args.jobs, cache=args.cache_dir)
+
     trace = synthetic_trace(
         burst_cycles=BURST_CYCLES, total_cycles=80_000, seed=3
     )
@@ -31,7 +46,7 @@ def main() -> None:
     config = SynthesisConfig(max_targets_per_bus=None)
 
     windows = [200, 400, 1_000, 2_000, 4_000, 20_000, trace.total_cycles]
-    points = window_size_sweep(trace, windows, config)
+    points = window_size_sweep(trace, windows, config, engine=engine)
     print("\n-- window-size sweep (Fig. 5(a) flavour) --")
     print(
         format_table(
@@ -55,7 +70,8 @@ def main() -> None:
 
     thresholds = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
     threshold_points = overlap_threshold_sweep(
-        trace, thresholds, window_size=2 * BURST_CYCLES, config=config
+        trace, thresholds, window_size=2 * BURST_CYCLES, config=config,
+        engine=engine,
     )
     print("\n-- overlap-threshold sweep (Fig. 6 flavour) --")
     print(
@@ -82,6 +98,8 @@ def main() -> None:
         "~10% threshold;\nconservative designs tolerate window ~ 4x burst "
         "and a 30-40% threshold."
     )
+    if engine.cache is not None:
+        print(f"result cache: {engine.cache.stats}")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,12 @@ from repro.core import (
     shared_bus_design,
 )
 from repro.errors import ReproError
+from repro.exec import (
+    ExecutionEngine,
+    ResultCache,
+    SynthesisResult,
+    SynthesisTask,
+)
 from repro.platform import SimulationResult, SoC, SoCConfig, TimingModel
 from repro.traffic import (
     SyntheticTrafficConfig,
@@ -74,4 +80,9 @@ __all__ = [
     "peak_bandwidth_design",
     "shared_bus_design",
     "full_crossbar_design",
+    # execution engine
+    "ExecutionEngine",
+    "ResultCache",
+    "SynthesisResult",
+    "SynthesisTask",
 ]

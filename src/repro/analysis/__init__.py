@@ -13,7 +13,7 @@ These helpers regenerate the paper's tables and figures:
 
 from repro.analysis.compare import DesignEvaluation, compare_designs
 from repro.analysis.pareto import DesignPoint, explore_design_space, pareto_front
-from repro.analysis.report import format_table
+from repro.analysis.report import format_synthesis_result, format_table
 from repro.analysis.sweep import (
     SweepPoint,
     acceptable_window_search,
@@ -29,6 +29,7 @@ __all__ = [
     "explore_design_space",
     "pareto_front",
     "format_table",
+    "format_synthesis_result",
     "SweepPoint",
     "window_size_sweep",
     "overlap_threshold_sweep",

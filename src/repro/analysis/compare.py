@@ -4,6 +4,13 @@
 designs and tabulates packet latency and crossbar size -- the measurement
 behind the paper's Table 1 (shared/full/partial) and Fig. 4
 (average-traffic vs windowed designs, normalized to the full crossbar).
+
+Each design's validation simulation is independent of the others, so
+the loop routes through the execution engine: pass
+``engine=ExecutionEngine(jobs=4)`` to fan the baselines out over worker
+processes (registered applications only -- workers rebuild the
+application by name). The default serial engine reproduces the original
+in-process behaviour exactly.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.apps.descriptor import Application
 from repro.core.spec import CrossbarDesign
+from repro.exec.engine import ExecutionEngine
 from repro.platform.metrics import LatencyStats
 
 __all__ = ["DesignEvaluation", "compare_designs"]
@@ -48,6 +56,7 @@ def compare_designs(
     designs: Sequence[CrossbarDesign],
     max_cycles: Optional[int] = None,
     cycle_headroom: int = 6,
+    engine: Optional[ExecutionEngine] = None,
 ) -> Dict[str, DesignEvaluation]:
     """Simulate ``application`` on every design; key results by label.
 
@@ -55,17 +64,16 @@ def compare_designs(
     length so that heavily contended designs (a shared bus, an
     average-traffic design) still run their workload to completion.
     """
-    evaluations: Dict[str, DesignEvaluation] = {}
     budget = max_cycles or application.sim_cycles * cycle_headroom
-    for design in designs:
-        result = application.simulate(
-            design.it.as_list(), design.ti.as_list(), budget
+    run = engine if engine is not None else ExecutionEngine(jobs=1)
+    outcomes = run.evaluate_designs(application, designs, budget)
+    return {
+        outcome.label: DesignEvaluation(
+            label=outcome.label,
+            bus_count=outcome.bus_count,
+            stats=outcome.stats,
+            critical_stats=outcome.critical_stats,
+            finished=outcome.finished,
         )
-        evaluations[design.label] = DesignEvaluation(
-            label=design.label,
-            bus_count=design.bus_count,
-            stats=result.latency_stats(),
-            critical_stats=result.latency_stats(critical_only=True),
-            finished=result.finished,
-        )
-    return evaluations
+        for outcome in outcomes
+    }

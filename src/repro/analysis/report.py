@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "format_synthesis_result"]
 
 
 def format_table(
@@ -37,3 +37,49 @@ def format_table(
     parts.append(line(["-" * width for width in widths]))
     parts.extend(line(row) for row in rendered)
     return "\n".join(parts)
+
+
+def format_synthesis_result(
+    result,
+    target_names: Optional[Sequence[str]] = None,
+    initiator_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Human-readable description of a cached/solved synthesis point.
+
+    ``result`` is a :class:`~repro.exec.serialize.SynthesisResult` --
+    the portable record shared by the execution engine's cache and the
+    CLI. Optional core-name lists turn the binding listings from bare
+    indices into platform names.
+    """
+    design = result.design
+    lines = [
+        f"designed crossbar: {design.it.num_buses} IT buses + "
+        f"{design.ti.num_buses} TI buses = {design.bus_count}",
+        f"  window size: {result.window_size} cycles, "
+        f"overlap threshold: {result.config.overlap_threshold:.0%}",
+        f"  IT conflicts: {result.it_conflicts}, "
+        f"search probes: {len(result.it_probes)}",
+        f"  TI conflicts: {result.ti_conflicts}, "
+        f"search probes: {len(result.ti_probes)}",
+        f"  max bus overlap (IT/TI): {design.it.max_bus_overlap}"
+        f"/{design.ti.max_bus_overlap} cycles",
+    ]
+
+    def describe(index: int, names: Optional[Sequence[str]]) -> str:
+        if names is not None and index < len(names):
+            return names[index]
+        return str(index)
+
+    lines.append("IT binding:")
+    for bus in range(design.it.num_buses):
+        members = ", ".join(
+            describe(t, target_names) for t in design.it.targets_on_bus(bus)
+        )
+        lines.append(f"  bus {bus}: {members}")
+    lines.append("TI binding:")
+    for bus in range(design.ti.num_buses):
+        members = ", ".join(
+            describe(i, initiator_names) for i in design.ti.targets_on_bus(bus)
+        )
+        lines.append(f"  bus {bus}: {members}")
+    return "\n".join(lines)

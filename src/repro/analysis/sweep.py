@@ -10,6 +10,12 @@ Three drivers:
 * :func:`acceptable_window_search` -- the largest window whose design
   still meets a latency bound, per burst size (Fig. 5(b)); grows
   roughly linearly with the burst size.
+
+Every sweep point is an independent synthesis run, so all three drivers
+route through the :class:`~repro.exec.engine.ExecutionEngine`: pass
+``engine=ExecutionEngine(jobs=8, cache="...")`` to fan points out over
+worker processes and/or skip already-solved points. Results are
+deterministic -- identical point lists whatever the job count.
 """
 
 from __future__ import annotations
@@ -19,8 +25,9 @@ from typing import List, Optional, Sequence
 
 from repro.apps.descriptor import Application
 from repro.core.spec import SynthesisConfig
-from repro.core.synthesis import CrossbarSynthesizer
 from repro.errors import ConfigurationError
+from repro.exec.engine import ExecutionEngine, SynthesisTask
+from repro.exec.fingerprint import trace_fingerprint
 from repro.traffic.trace import TrafficTrace
 
 __all__ = [
@@ -44,27 +51,36 @@ class SweepPoint:
         return self.it_buses + self.ti_buses
 
 
+def _resolve_engine(engine: Optional[ExecutionEngine]) -> ExecutionEngine:
+    return engine if engine is not None else ExecutionEngine(jobs=1)
+
+
 def window_size_sweep(
     trace: TrafficTrace,
     window_sizes: Sequence[int],
     config: Optional[SynthesisConfig] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[SweepPoint]:
     """Design the crossbar for each window size (Fig. 5(a))."""
     base = config or SynthesisConfig()
-    points = []
+    tasks = []
     for window in window_sizes:
         effective = min(window, trace.total_cycles)
-        report = CrossbarSynthesizer(
-            replace(base, window_size=effective)
-        ).design_from_trace(trace, effective)
-        points.append(
-            SweepPoint(
-                value=float(window),
-                it_buses=report.design.it.num_buses,
-                ti_buses=report.design.ti.num_buses,
+        tasks.append(
+            SynthesisTask(
+                config=replace(base, window_size=effective),
+                window_size=effective,
             )
         )
-    return points
+    results = _resolve_engine(engine).run_sweep(trace, tasks)
+    return [
+        SweepPoint(
+            value=float(window),
+            it_buses=result.design.it.num_buses,
+            ti_buses=result.design.ti.num_buses,
+        )
+        for window, result in zip(window_sizes, results)
+    ]
 
 
 def overlap_threshold_sweep(
@@ -72,22 +88,28 @@ def overlap_threshold_sweep(
     thresholds: Sequence[float],
     window_size: int,
     config: Optional[SynthesisConfig] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[SweepPoint]:
     """Design the crossbar for each overlap threshold (Fig. 6)."""
     base = config or SynthesisConfig()
-    points = []
-    for threshold in thresholds:
-        report = CrossbarSynthesizer(
-            replace(base, window_size=window_size, overlap_threshold=threshold)
-        ).design_from_trace(trace, window_size)
-        points.append(
-            SweepPoint(
-                value=threshold,
-                it_buses=report.design.it.num_buses,
-                ti_buses=report.design.ti.num_buses,
-            )
+    tasks = [
+        SynthesisTask(
+            config=replace(
+                base, window_size=window_size, overlap_threshold=threshold
+            ),
+            window_size=window_size,
         )
-    return points
+        for threshold in thresholds
+    ]
+    results = _resolve_engine(engine).run_sweep(trace, tasks)
+    return [
+        SweepPoint(
+            value=threshold,
+            it_buses=result.design.it.num_buses,
+            ti_buses=result.design.ti.num_buses,
+        )
+        for threshold, result in zip(thresholds, results)
+    ]
 
 
 def acceptable_window_search(
@@ -97,6 +119,7 @@ def acceptable_window_search(
     max_latency_ratio: float = 1.5,
     max_peak_ratio: float = 3.0,
     config: Optional[SynthesisConfig] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> int:
     """Largest window whose designed crossbar meets the latency bounds.
 
@@ -109,22 +132,53 @@ def acceptable_window_search(
     windows hurt the worst case first). Candidates beyond the first
     failing window are skipped, since larger windows only shrink the
     design.
+
+    Validation simulations are inherently sequential (each depends on
+    the previous verdict via early exit), but the synthesis half of
+    every candidate is independent: a parallel ``engine`` pre-solves all
+    candidate designs up front, trading a little speculative work for
+    wall-clock time; a serial engine keeps the original lazy,
+    stop-at-first-failure behaviour.
     """
     if not candidate_windows:
         raise ConfigurationError("need at least one candidate window")
     base = config or SynthesisConfig()
+    run = _resolve_engine(engine)
     full = application.simulate_full_crossbar()
     full_stats = full.latency_stats()
     full_mean = full_stats.mean or 1.0
     full_peak = full_stats.maximum or 1
     budget = application.sim_cycles * 6
+
+    ordered = sorted(candidate_windows)
+    tasks = [
+        SynthesisTask(
+            config=replace(base, window_size=min(w, trace.total_cycles)),
+            window_size=min(w, trace.total_cycles),
+        )
+        for w in ordered
+    ]
+    digest = trace_fingerprint(trace) if run.cache is not None else None
+    if run.jobs > 1:
+        results = run.run_sweep(
+            trace, tasks, application=application.name, trace_digest=digest
+        )
+    else:
+        results = None  # lazy: solve one candidate at a time below
+
     best = 0
-    for window in sorted(candidate_windows):
-        effective = min(window, trace.total_cycles)
-        synthesizer = CrossbarSynthesizer(replace(base, window_size=effective))
-        report = synthesizer.design_from_trace(trace, effective)
+    for position, window in enumerate(ordered):
+        if results is not None:
+            result = results[position]
+        else:
+            result = run.run_sweep(
+                trace,
+                [tasks[position]],
+                application=application.name,
+                trace_digest=digest,
+            )[0]
         validation = application.simulate(
-            report.design.it.as_list(), report.design.ti.as_list(), budget
+            result.design.it.as_list(), result.design.ti.as_list(), budget
         )
         stats = validation.latency_stats()
         mean_ok = stats.mean / full_mean <= max_latency_ratio

@@ -6,7 +6,7 @@ render their series as monospace charts alongside the raw numbers.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 __all__ = ["bar_chart", "xy_plot"]
 

@@ -12,7 +12,7 @@ length. The standard platform layout follows the paper's Fig. 2(a):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence, Tuple
 
 from repro.errors import ApplicationError
@@ -80,6 +80,12 @@ class Application:
         guidance).
     description:
         One-line summary for reports.
+    registry_key:
+        Set by :func:`repro.apps.build_application` on *default* builds
+        only: the registry name that reproduces this exact application
+        in another process. ``None`` for customized or hand-built
+        applications (they cannot be faithfully rebuilt by name, so
+        cross-process fan-out must not attempt it).
     """
 
     name: str
@@ -88,6 +94,7 @@ class Application:
     sim_cycles: int
     default_window: int = 1_000
     description: str = ""
+    registry_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if len(self.program_builders) != self.config.num_initiators:

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from dataclasses import replace
+from typing import Callable, Dict
 
 from repro.apps.des import build_des
 from repro.apps.descriptor import Application
@@ -30,6 +31,12 @@ def build_application(name: str, **kwargs) -> Application:
 
     Extra keyword arguments are forwarded to the specific builder (e.g.
     ``critical_targets`` or, for ``synthetic``, ``burst_cycles``).
+
+    A *default* build (no keyword overrides) is tagged with its
+    ``registry_key``, marking that ``build_application(key)`` in another
+    process reproduces this exact application -- the property the
+    execution engine's parallel evaluation path requires. Customized
+    builds carry no key and are always evaluated in-process.
     """
     try:
         builder = APPLICATIONS[name]
@@ -38,4 +45,7 @@ def build_application(name: str, **kwargs) -> Application:
         raise ApplicationError(
             f"unknown application {name!r}; available: {known}"
         ) from None
-    return builder(**kwargs)
+    application = builder(**kwargs)
+    if not kwargs:
+        application = replace(application, registry_key=name)
+    return application

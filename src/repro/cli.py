@@ -4,11 +4,15 @@ The CLI wraps the library's main entry points for quick exploration::
 
     python -m repro list
     python -m repro design mat2 --window 1000 --threshold 0.3
-    python -m repro compare des
+    python -m repro compare des --jobs 4
     python -m repro trace mat2 -o mat2.jsonl
-    python -m repro sweep-window --burst 1000
+    python -m repro sweep-window --burst 1000 --jobs 4 --cache-dir .cache
 
 All commands print plain-text tables (see :mod:`repro.analysis.report`).
+Commands that solve or simulate independent points accept ``--jobs``
+(process-pool fan-out) and ``--cache-dir`` (content-addressed result
+cache, reused across invocations) and route through
+:class:`repro.exec.ExecutionEngine`.
 """
 
 from __future__ import annotations
@@ -17,20 +21,38 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis import compare_designs, format_table, window_size_sweep
+from repro.analysis import (
+    compare_designs,
+    format_synthesis_result,
+    format_table,
+    window_size_sweep,
+)
 from repro.apps import APPLICATIONS, build_application
 from repro.apps.synthetic import synthetic_trace
 from repro.core import (
-    CrossbarSynthesizer,
     SynthesisConfig,
     average_traffic_design,
     full_crossbar_design,
     shared_bus_design,
 )
 from repro.errors import ReproError
+from repro.exec import ExecutionEngine
 from repro.traffic import save_trace_jsonl
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent points "
+        "(1 = serial, 0 = one per CPU)",
+    )
+    subparser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache; repeated runs skip "
+        "already-solved points",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,12 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", action="store_true",
         help="re-simulate the designed crossbar and report latency",
     )
+    _add_engine_options(design)
 
     compare = sub.add_parser(
         "compare",
         help="evaluate shared / average-traffic / windowed / full designs",
     )
     compare.add_argument("app", help="application name")
+    _add_engine_options(compare)
 
     trace = sub.add_parser(
         "trace", help="dump an application's full-crossbar trace as JSONL"
@@ -90,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--windows", type=int, nargs="+",
         default=[200, 500, 1_000, 2_000, 4_000, 20_000],
     )
+    _add_engine_options(sweep)
     return parser
 
 
@@ -118,30 +143,34 @@ def _config_from_args(args) -> SynthesisConfig:
     )
 
 
+def _engine_from_args(args) -> ExecutionEngine:
+    return ExecutionEngine(jobs=args.jobs, cache=args.cache_dir)
+
+
 def _cmd_design(args) -> int:
     app = build_application(args.app)
-    synthesizer = CrossbarSynthesizer(_config_from_args(args))
+    engine = _engine_from_args(args)
+    config = _config_from_args(args)
     print(f"designing crossbars for {app.name} ({app.num_cores} cores) ...")
     full_run = app.simulate_full_crossbar()
-    report = synthesizer.design(app, trace=full_run.trace)
-    print(report.summary())
-    print("\nIT binding:")
-    for bus in range(report.design.it.num_buses):
-        names = [
-            full_run.trace.target_names[t]
-            for t in report.design.it.targets_on_bus(bus)
-        ]
-        print(f"  bus {bus}: {', '.join(names)}")
-    print("TI binding:")
-    for bus in range(report.design.ti.num_buses):
-        names = [
-            full_run.trace.initiator_names[i]
-            for i in report.design.ti.targets_on_bus(bus)
-        ]
-        print(f"  bus {bus}: {', '.join(names)}")
+    result = engine.synthesize(
+        full_run.trace,
+        config,
+        window_size=args.window or app.default_window,
+        application=app.name,
+    )
+    print(
+        format_synthesis_result(
+            result,
+            target_names=full_run.trace.target_names,
+            initiator_names=full_run.trace.initiator_names,
+        )
+    )
     if args.validate:
-        validation = synthesizer.validate(
-            app, report.design, max_cycles=app.sim_cycles * 4
+        validation = app.simulate(
+            result.design.it.as_list(),
+            result.design.ti.as_list(),
+            app.sim_cycles * 4,
         )
         full_stats = full_run.latency_stats()
         designed_stats = validation.latency_stats()
@@ -151,26 +180,34 @@ def _cmd_design(args) -> int:
                 [
                     ["full", app.num_cores, full_stats.mean,
                      full_stats.maximum],
-                    ["designed", report.design.bus_count,
+                    ["designed", result.design.bus_count,
                      designed_stats.mean, designed_stats.maximum],
                 ],
                 title="\nvalidation",
             )
         )
+    if engine.cache is not None:
+        print(f"cache: {engine.cache.stats}")
     return 0
 
 
 def _cmd_compare(args) -> int:
     app = build_application(args.app)
+    engine = _engine_from_args(args)
     trace = app.simulate_full_crossbar().trace
-    windowed = CrossbarSynthesizer().design(app, trace=trace).design
+    windowed = engine.synthesize(
+        trace,
+        SynthesisConfig(),
+        window_size=app.default_window,
+        application=app.name,
+    ).design
     designs = [
         shared_bus_design(trace),
         average_traffic_design(trace),
         windowed,
         full_crossbar_design(trace),
     ]
-    evaluations = compare_designs(app, designs)
+    evaluations = compare_designs(app, designs, engine=engine)
     full_stats = evaluations["full"].stats
     rows = [
         [
@@ -204,11 +241,15 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_sweep_window(args) -> int:
+    engine = _engine_from_args(args)
     trace = synthetic_trace(
         burst_cycles=args.burst, total_cycles=max(80_000, args.burst * 40)
     )
     points = window_size_sweep(
-        trace, args.windows, SynthesisConfig(max_targets_per_bus=None)
+        trace,
+        args.windows,
+        SynthesisConfig(max_targets_per_bus=None),
+        engine=engine,
     )
     print(
         format_table(
@@ -221,6 +262,8 @@ def _cmd_sweep_window(args) -> int:
             title=f"window sweep (synthetic, burst ~{args.burst} cy)",
         )
     )
+    if engine.cache is not None:
+        print(f"cache: {engine.cache.stats}")
     return 0
 
 

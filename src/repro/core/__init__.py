@@ -22,6 +22,7 @@ and contention-free peak design, random binding) live in
 :mod:`repro.core.baselines`.
 """
 
+from repro.core.instrumentation import SOLVE_COUNTER, SolveCounter
 from repro.core.spec import BusBinding, CrossbarDesign, SynthesisConfig
 from repro.core.problem import CrossbarDesignProblem
 from repro.core.preprocess import ConflictAnalysis, build_conflicts
@@ -53,4 +54,6 @@ __all__ = [
     "full_crossbar_design",
     "shared_bus_design",
     "audit_binding",
+    "SOLVE_COUNTER",
+    "SolveCounter",
 ]

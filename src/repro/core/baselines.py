@@ -16,9 +16,8 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
-from repro.core.binding import binding_overlap_objective, optimize_binding
+from repro.core.binding import optimize_binding
 from repro.core.preprocess import build_conflicts
 from repro.core.problem import CrossbarDesignProblem
 from repro.core.search import search_minimum_buses

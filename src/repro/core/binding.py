@@ -11,10 +11,10 @@ average-latency gap between random and optimal bindings, which
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.core.assignment import solve_assignment
 from repro.core.formulation import build_binding_model
+from repro.core.instrumentation import record_solve
 from repro.core.preprocess import ConflictAnalysis
 from repro.core.problem import CrossbarDesignProblem
 from repro.core.spec import BusBinding, SynthesisConfig
@@ -48,6 +48,7 @@ def optimize_binding(
     config: SynthesisConfig,
 ) -> BusBinding:
     """Solve MILP2: the overlap-minimizing binding for ``num_buses``."""
+    record_solve("binding")
     if config.backend == "milp":
         crossbar_model = build_binding_model(
             problem, conflicts, num_buses, config.max_targets_per_bus

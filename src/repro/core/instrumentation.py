@@ -1,0 +1,73 @@
+"""Lightweight instrumentation of the solver entry points.
+
+The execution engine's cache (:mod:`repro.exec`) promises that a warm
+cache performs *zero* solves. That guarantee is only testable if the
+solver layer is observable, so the two solver entry points --
+feasibility probes in :mod:`repro.core.search` and binding optimization
+in :mod:`repro.core.binding` -- report every invocation here.
+
+The counter is process-local: work fanned out to pool workers is counted
+in the workers, not the parent. That is exactly what cache tests want --
+a warm-cache run in the parent must record zero local solves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+__all__ = ["SolveCounter", "SOLVE_COUNTER", "record_solve"]
+
+
+class SolveCounter:
+    """Counts solver invocations; supports observer callbacks.
+
+    Attributes
+    ----------
+    feasibility:
+        Number of feasibility probes (MILP1 / assignment feasibility).
+    binding:
+        Number of binding optimizations (MILP2).
+    """
+
+    def __init__(self) -> None:
+        self.feasibility = 0
+        self.binding = 0
+        self._observers: List[Callable[[str], None]] = []
+
+    @property
+    def total(self) -> int:
+        """All solver invocations since the last :meth:`reset`."""
+        return self.feasibility + self.binding
+
+    def reset(self) -> None:
+        """Zero both counters (observers stay registered)."""
+        self.feasibility = 0
+        self.binding = 0
+
+    def subscribe(self, observer: Callable[[str], None]) -> None:
+        """Call ``observer(kind)`` on every recorded solve."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[str], None]) -> None:
+        """Remove a previously subscribed observer."""
+        self._observers.remove(observer)
+
+    def record(self, kind: str) -> None:
+        """Record one solver invocation of ``kind``."""
+        if kind == "feasibility":
+            self.feasibility += 1
+        elif kind == "binding":
+            self.binding += 1
+        else:
+            raise ValueError(f"unknown solve kind {kind!r}")
+        for observer in self._observers:
+            observer(kind)
+
+
+SOLVE_COUNTER = SolveCounter()
+"""The process-global counter the solver entry points report to."""
+
+
+def record_solve(kind: str, counter: Optional[SolveCounter] = None) -> None:
+    """Report one solver invocation (module-level convenience hook)."""
+    (counter or SOLVE_COUNTER).record(kind)

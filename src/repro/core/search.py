@@ -14,10 +14,11 @@ demand) and the conflict-clique bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.assignment import solve_assignment
 from repro.core.formulation import build_feasibility_model
+from repro.core.instrumentation import record_solve
 from repro.core.preprocess import ConflictAnalysis
 from repro.core.problem import CrossbarDesignProblem
 from repro.core.spec import SynthesisConfig
@@ -58,6 +59,7 @@ def _is_feasible(
     config: SynthesisConfig,
 ):
     """Feasibility check; returns a witness binding or None."""
+    record_solve("feasibility")
     if config.backend == "milp":
         crossbar_model = build_feasibility_model(
             problem, conflicts, num_buses, config.max_targets_per_bus

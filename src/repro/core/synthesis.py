@@ -16,8 +16,8 @@ paper's "designed in a similar fashion".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.apps.descriptor import Application
 from repro.core.binding import optimize_binding
@@ -51,6 +51,14 @@ class SynthesisReport:
     ti_report: SideReport
     trace: TrafficTrace
     config: SynthesisConfig
+
+    def to_result(self):
+        """Distill this report into a portable
+        :class:`~repro.exec.serialize.SynthesisResult` (the record the
+        execution engine caches and the CLI/report layer renders)."""
+        from repro.exec.serialize import SynthesisResult
+
+        return SynthesisResult.from_report(self)
 
     def summary(self) -> str:
         """Human-readable multi-line description of the outcome."""

@@ -1,0 +1,45 @@
+"""Sweep/synthesis execution engine: parallel fan-out + result caching.
+
+The paper's design-space studies solve many independent synthesis
+points. This package turns those studies from serial, recompute-
+everything loops into cached, parallel executions:
+
+* :mod:`~repro.exec.engine` -- the :class:`ExecutionEngine` (process-
+  pool fan-out with deterministic ordering, serial fallback),
+* :mod:`~repro.exec.cache` -- the content-addressed on-disk
+  :class:`ResultCache`,
+* :mod:`~repro.exec.fingerprint` -- canonical hashing of traces,
+  configurations and tasks,
+* :mod:`~repro.exec.serialize` -- the JSON-portable
+  :class:`SynthesisResult` record shared by the cache, the CLI and the
+  report layer.
+"""
+
+from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.engine import EvaluationOutcome, ExecutionEngine, SynthesisTask
+from repro.exec.fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    config_fingerprint,
+    task_key,
+    trace_fingerprint,
+)
+from repro.exec.serialize import (
+    SynthesisResult,
+    result_from_dict,
+    result_to_dict,
+)
+
+__all__ = [
+    "ExecutionEngine",
+    "SynthesisTask",
+    "EvaluationOutcome",
+    "ResultCache",
+    "CacheStats",
+    "SynthesisResult",
+    "result_to_dict",
+    "result_from_dict",
+    "trace_fingerprint",
+    "config_fingerprint",
+    "task_key",
+    "CACHE_SCHEMA_VERSION",
+]

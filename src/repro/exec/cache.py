@@ -1,0 +1,139 @@
+"""Content-addressed on-disk result cache.
+
+Each solved synthesis point is stored as ``<key>.json`` under the cache
+directory, where ``key`` is the :func:`~repro.exec.fingerprint.task_key`
+of (trace fingerprint, configuration, window). Writes are atomic
+(temp file + ``os.replace``) so concurrent sweeps sharing a cache
+directory never observe torn entries; corrupt or stale-format entries
+are treated as misses and rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import ReproError
+from repro.exec.serialize import (
+    SynthesisResult,
+    result_from_dict,
+    result_to_dict,
+)
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits}/{self.lookups} hits, {self.stores} stores, "
+            f"{self.invalid} invalid entries"
+        )
+
+
+class ResultCache:
+    """Persistent map from task keys to :class:`SynthesisResult`.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the entries; created on first store.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        if self.cache_dir.exists() and not self.cache_dir.is_dir():
+            raise ReproError(
+                f"cache path {self.cache_dir} exists and is not a directory"
+            )
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        if not key or any(ch in key for ch in "/\\."):
+            raise ReproError(f"invalid cache key {key!r}")
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SynthesisResult]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        Unreadable or format-incompatible entries count as misses (and
+        are reported in :attr:`stats`), never as errors: a cache must
+        degrade to recomputation.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            result = result_from_dict(payload)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, ReproError):
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: SynthesisResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        path = self._path(key)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(result_to_dict(result), sort_keys=True, indent=None)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """Keys of every entry currently on disk."""
+        if not self.cache_dir.is_dir():
+            return
+        for entry in sorted(self.cache_dir.glob("*.json")):
+            # pathlib's glob matches dotfiles; skip orphaned temp files
+            # (".tmp-*") left by a hard-killed writer.
+            if entry.name.startswith("."):
+                continue
+            yield entry.stem
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self._path(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultCache {self.cache_dir} ({self.stats})>"

@@ -1,0 +1,330 @@
+"""Parallel, cached execution of synthesis and evaluation points.
+
+The design-space studies are embarrassingly parallel: every sweep point
+is an independent synthesis run over the same trace. The
+:class:`ExecutionEngine` exploits that twice over:
+
+* **Caching** -- each point is keyed by a content hash of (trace,
+  configuration, window); solved points are stored in a
+  :class:`~repro.exec.cache.ResultCache` and never recomputed, across
+  runs and across processes.
+* **Parallelism** -- uncached points fan out over a process pool. The
+  shared trace is shipped to each worker once (via the pool
+  initializer), not once per point. Results are returned in task order
+  regardless of completion order, so parallel runs are byte-identical
+  to serial ones.
+
+The pool is an optimization, never a requirement: any pool
+infrastructure failure (fork unavailable, broken worker) degrades to
+the serial path, and ``jobs=1`` bypasses the pool entirely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.spec import SynthesisConfig
+from repro.core.synthesis import CrossbarSynthesizer
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.fingerprint import task_key, trace_fingerprint
+from repro.exec.serialize import SynthesisResult
+from repro.platform.metrics import LatencyStats
+from repro.traffic.trace import TrafficTrace
+
+__all__ = ["SynthesisTask", "EvaluationOutcome", "ExecutionEngine"]
+
+
+@dataclass(frozen=True)
+class SynthesisTask:
+    """One independent synthesis point of a sweep.
+
+    ``window_size`` is the *effective* window (already clamped to the
+    trace length by the caller); ``config`` carries every other knob.
+    """
+
+    config: SynthesisConfig
+    window_size: int
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ConfigurationError(
+                f"task window_size must be >= 1, got {self.window_size}"
+            )
+
+
+@dataclass(frozen=True)
+class EvaluationOutcome:
+    """One design's simulated behaviour, as returned by pool workers."""
+
+    label: str
+    bus_count: int
+    stats: LatencyStats
+    critical_stats: LatencyStats
+    finished: bool
+
+
+# Worker-process state: the sweep's shared trace, installed once per
+# worker by the pool initializer instead of being pickled per task.
+_WORKER_TRACE: Optional[TrafficTrace] = None
+
+
+def _install_worker_trace(trace: TrafficTrace) -> None:
+    global _WORKER_TRACE
+    _WORKER_TRACE = trace
+
+
+def _solve_task_in_worker(
+    index: int, task: SynthesisTask
+) -> Tuple[int, SynthesisResult]:
+    assert _WORKER_TRACE is not None, "pool initializer did not run"
+    return index, _solve_task(_WORKER_TRACE, task)
+
+
+def _solve_task(trace: TrafficTrace, task: SynthesisTask) -> SynthesisResult:
+    report = CrossbarSynthesizer(task.config).design_from_trace(
+        trace, task.window_size
+    )
+    return SynthesisResult.from_report(report)
+
+
+def _simulate_outcome(
+    application,
+    it_binding,
+    ti_binding,
+    label: str,
+    bus_count: int,
+    budget: int,
+) -> EvaluationOutcome:
+    """The one place an evaluation simulation becomes an outcome (both
+    the serial and the pool-worker path go through it)."""
+    result = application.simulate(list(it_binding), list(ti_binding), budget)
+    return EvaluationOutcome(
+        label=label,
+        bus_count=bus_count,
+        stats=result.latency_stats(),
+        critical_stats=result.latency_stats(critical_only=True),
+        finished=result.finished,
+    )
+
+
+def _evaluate_in_worker(
+    index: int,
+    registry_key: str,
+    it_binding: Tuple[int, ...],
+    ti_binding: Tuple[int, ...],
+    label: str,
+    bus_count: int,
+    budget: int,
+) -> Tuple[int, EvaluationOutcome]:
+    from repro.apps import build_application
+
+    application = build_application(registry_key)
+    return index, _simulate_outcome(
+        application, it_binding, ti_binding, label, bus_count, budget
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap trace hand-off) where the OS offers it."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ExecutionEngine:
+    """Fans synthesis/evaluation points out over workers, behind a cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count. ``1`` (the default) runs everything
+        in-process; ``0`` or ``None`` means one worker per CPU.
+    cache:
+        A :class:`ResultCache`, a cache-directory path, or ``None`` to
+        disable caching.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache: Union[ResultCache, str, Path, None] = None,
+    ) -> None:
+        if jobs is None or jobs == 0:
+            jobs = multiprocessing.cpu_count()
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+
+    # -- synthesis ----------------------------------------------------
+
+    def synthesize(
+        self,
+        trace: TrafficTrace,
+        config: Optional[SynthesisConfig] = None,
+        window_size: Optional[int] = None,
+        application: Optional[str] = None,
+        trace_digest: Optional[str] = None,
+    ) -> SynthesisResult:
+        """Solve (or fetch) a single synthesis point."""
+        config = config or SynthesisConfig()
+        window = window_size or config.window_size or 1_000
+        task = SynthesisTask(config=config, window_size=window)
+        return self.run_sweep(
+            trace, [task], application=application, trace_digest=trace_digest
+        )[0]
+
+    def run_sweep(
+        self,
+        trace: TrafficTrace,
+        tasks: Sequence[SynthesisTask],
+        application: Optional[str] = None,
+        trace_digest: Optional[str] = None,
+    ) -> List[SynthesisResult]:
+        """Solve every task against ``trace``; results in task order.
+
+        Cached points are returned without any solver work; the
+        remainder is fanned out over the pool (or solved serially for
+        ``jobs=1``). The returned list is ordered and valued identically
+        whichever path each point took.
+        """
+        results: List[Optional[SynthesisResult]] = [None] * len(tasks)
+        pending: List[Tuple[int, Optional[str], SynthesisTask]] = []
+        if self.cache is not None and trace_digest is None:
+            trace_digest = trace_fingerprint(trace)
+        for index, task in enumerate(tasks):
+            key = None
+            if self.cache is not None:
+                key = task_key(
+                    trace_digest, task.config, task.window_size, application
+                )
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            pending.append((index, key, task))
+
+        if pending:
+            # Identical points (e.g. several windows clamped to the trace
+            # length) share one solve; every pending slot maps onto it.
+            distinct: List[SynthesisTask] = []
+            slot: Dict[SynthesisTask, int] = {}
+            for _index, _key, task in pending:
+                if task not in slot:
+                    slot[task] = len(distinct)
+                    distinct.append(task)
+            solved = self._solve_pending(trace, distinct)
+            stored = set()
+            for index, key, task in pending:
+                result = solved[slot[task]]
+                results[index] = result
+                if self.cache is not None and key is not None and key not in stored:
+                    self.cache.put(key, result)
+                    stored.add(key)
+        return results  # type: ignore[return-value]
+
+    def _solve_pending(
+        self, trace: TrafficTrace, tasks: Sequence[SynthesisTask]
+    ) -> List[SynthesisResult]:
+        if self.jobs > 1 and len(tasks) > 1:
+            try:
+                return self._solve_parallel(trace, tasks)
+            except (BrokenProcessPool, OSError):
+                pass  # pool infrastructure failure: degrade to serial
+        return [_solve_task(trace, task) for task in tasks]
+
+    def _solve_parallel(
+        self, trace: TrafficTrace, tasks: Sequence[SynthesisTask]
+    ) -> List[SynthesisResult]:
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_install_worker_trace,
+            initargs=(trace,),
+        ) as pool:
+            futures = [
+                pool.submit(_solve_task_in_worker, index, task)
+                for index, task in enumerate(tasks)
+            ]
+            by_index: Dict[int, SynthesisResult] = {}
+            for future in futures:
+                index, result = future.result()
+                by_index[index] = result
+        return [by_index[index] for index in range(len(tasks))]
+
+    # -- evaluation ---------------------------------------------------
+
+    def evaluate_designs(
+        self,
+        application,
+        designs: Sequence,
+        budget: int,
+    ) -> List[EvaluationOutcome]:
+        """Simulate ``application`` on every design, in design order.
+
+        Parallel execution rebuilds the application in each worker
+        (program iterators are closures and do not pickle), which is
+        only faithful for applications tagged with a ``registry_key``
+        (default registry builds); customized or hand-built
+        applications always run serially.
+        """
+        if (
+            self.jobs > 1
+            and len(designs) > 1
+            and getattr(application, "registry_key", None) is not None
+        ):
+            try:
+                return self._evaluate_parallel(application, designs, budget)
+            except (BrokenProcessPool, OSError):
+                pass
+        return [
+            _simulate_outcome(
+                application,
+                design.it.as_list(),
+                design.ti.as_list(),
+                design.label,
+                design.bus_count,
+                budget,
+            )
+            for design in designs
+        ]
+
+    def _evaluate_parallel(
+        self, application, designs: Sequence, budget: int
+    ) -> List[EvaluationOutcome]:
+        workers = min(self.jobs, len(designs))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _evaluate_in_worker,
+                    index,
+                    application.registry_key,
+                    tuple(design.it.binding),
+                    tuple(design.ti.binding),
+                    design.label,
+                    design.bus_count,
+                    budget,
+                )
+                for index, design in enumerate(designs)
+            ]
+            by_index: Dict[int, EvaluationOutcome] = {}
+            for future in futures:
+                index, outcome = future.result()
+                by_index[index] = outcome
+        return [by_index[index] for index in range(len(designs))]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cache = self.cache.cache_dir if self.cache is not None else None
+        return f"<ExecutionEngine jobs={self.jobs} cache={cache}>"

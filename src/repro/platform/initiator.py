@@ -25,7 +25,7 @@ candidate crossbar.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, Union
 
 from repro.errors import ApplicationError
 from repro.traffic.events import TraceRecord, TransactionKind

@@ -8,7 +8,7 @@ from traces and keep the arithmetic in one audited place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -10,7 +10,6 @@ the binding phase minimizes the summed overlap per bus.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

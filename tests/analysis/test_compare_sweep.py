@@ -11,7 +11,6 @@ from repro.analysis.sweep import acceptable_window_search
 from repro.apps import build_application
 from repro.apps.synthetic import build_synthetic, synthetic_trace
 from repro.core import (
-    CrossbarSynthesizer,
     SynthesisConfig,
     full_crossbar_design,
     shared_bus_design,

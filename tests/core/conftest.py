@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import CrossbarDesignProblem, SynthesisConfig, build_conflicts
+from repro.core import CrossbarDesignProblem, SynthesisConfig
 from repro.traffic import TrafficTrace
 
 from tests.traffic.conftest import make_record

@@ -17,7 +17,6 @@ from repro.core.binding import binding_overlap_objective
 from repro.errors import SolverError
 
 from tests.core.conftest import problem_from_activity
-from tests.traffic.conftest import make_record
 from tests.traffic.test_windows import random_trace
 
 

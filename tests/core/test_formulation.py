@@ -17,7 +17,6 @@ from repro.core.formulation import (
 )
 from repro.milp import BranchBoundOptions, SolveStatus, solve_milp
 
-from tests.core.conftest import problem_from_activity
 from tests.traffic.test_windows import random_trace
 
 

@@ -7,7 +7,6 @@ from repro.core import CrossbarDesignProblem
 from repro.errors import SynthesisError
 from repro.traffic import TrafficTrace, WindowedTraffic, PairwiseOverlap
 
-from tests.core.conftest import problem_from_activity
 from tests.traffic.conftest import make_record
 
 

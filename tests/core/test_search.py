@@ -1,6 +1,5 @@
 """Unit tests for the binary configuration search."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.core import CrossbarDesignProblem, SynthesisConfig, build_conflicts

@@ -1,0 +1,229 @@
+"""Execution-engine semantics: parallel equivalence and cached re-runs."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    compare_designs,
+    overlap_threshold_sweep,
+    window_size_sweep,
+)
+from repro.analysis.sweep import acceptable_window_search
+from repro.apps import build_application
+from repro.apps.synthetic import synthetic_trace
+from repro.core import SOLVE_COUNTER, SynthesisConfig
+from repro.core.synthesis import CrossbarSynthesizer
+from repro.errors import ConfigurationError
+from repro.exec import (
+    ExecutionEngine,
+    ResultCache,
+    SynthesisTask,
+    result_to_dict,
+)
+
+WINDOWS = [150, 2_400]
+CONFIG = SynthesisConfig(max_targets_per_bus=None)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return synthetic_trace(
+        burst_cycles=300, total_cycles=12_000, num_initiators=5,
+        num_targets=5, seed=7,
+    )
+
+
+class TestParallelEquivalence:
+    def test_two_point_sweep_identical_serial_vs_parallel(self, small_trace):
+        """Acceptance: byte-identical SweepPoint lists at jobs=1 and jobs=2."""
+        serial = window_size_sweep(
+            small_trace, WINDOWS, CONFIG, engine=ExecutionEngine(jobs=1)
+        )
+        parallel = window_size_sweep(
+            small_trace, WINDOWS, CONFIG, engine=ExecutionEngine(jobs=2)
+        )
+        assert serial == parallel
+        assert repr(serial).encode() == repr(parallel).encode()
+
+    def test_raw_results_identical_serial_vs_parallel(self, small_trace):
+        tasks = [
+            SynthesisTask(config=CONFIG, window_size=w) for w in WINDOWS
+        ]
+        serial = ExecutionEngine(jobs=1).run_sweep(small_trace, tasks)
+        parallel = ExecutionEngine(jobs=2).run_sweep(small_trace, tasks)
+        serial_bytes = json.dumps(
+            [result_to_dict(r) for r in serial], sort_keys=True
+        ).encode()
+        parallel_bytes = json.dumps(
+            [result_to_dict(r) for r in parallel], sort_keys=True
+        ).encode()
+        assert serial_bytes == parallel_bytes
+
+    def test_threshold_sweep_identical(self, small_trace):
+        thresholds = [0.0, 0.3]
+        serial = overlap_threshold_sweep(
+            small_trace, thresholds, 600, CONFIG,
+            engine=ExecutionEngine(jobs=1),
+        )
+        parallel = overlap_threshold_sweep(
+            small_trace, thresholds, 600, CONFIG,
+            engine=ExecutionEngine(jobs=2),
+        )
+        assert serial == parallel
+
+    def test_matches_direct_synthesizer(self, small_trace):
+        """The engine is a transport, not a solver: same designs out."""
+        from dataclasses import replace
+
+        points = window_size_sweep(
+            small_trace, [600], CONFIG, engine=ExecutionEngine(jobs=1)
+        )
+        report = CrossbarSynthesizer(
+            replace(CONFIG, window_size=600)
+        ).design_from_trace(small_trace, 600)
+        assert points[0].it_buses == report.design.it.num_buses
+        assert points[0].ti_buses == report.design.ti.num_buses
+
+
+class TestCacheSemantics:
+    def test_warm_cache_performs_zero_solves(self, small_trace, tmp_path):
+        """Acceptance: second run with a warm cache never hits a solver."""
+        cold = ExecutionEngine(jobs=1, cache=tmp_path / "cache")
+        first = window_size_sweep(small_trace, WINDOWS, CONFIG, engine=cold)
+        assert cold.cache.stats.stores == len(WINDOWS)
+
+        warm = ExecutionEngine(jobs=1, cache=tmp_path / "cache")
+        SOLVE_COUNTER.reset()
+        second = window_size_sweep(small_trace, WINDOWS, CONFIG, engine=warm)
+        assert SOLVE_COUNTER.total == 0
+        assert second == first
+        assert warm.cache.stats.hits == len(WINDOWS)
+        assert warm.cache.stats.misses == 0
+
+    def test_parallel_run_populates_cache_for_serial_rerun(
+        self, small_trace, tmp_path
+    ):
+        cold = ExecutionEngine(jobs=2, cache=tmp_path / "cache")
+        first = window_size_sweep(small_trace, WINDOWS, CONFIG, engine=cold)
+        warm = ExecutionEngine(jobs=1, cache=tmp_path / "cache")
+        SOLVE_COUNTER.reset()
+        second = window_size_sweep(small_trace, WINDOWS, CONFIG, engine=warm)
+        assert SOLVE_COUNTER.total == 0
+        assert second == first
+
+    def test_config_change_misses_cache(self, small_trace, tmp_path):
+        engine = ExecutionEngine(jobs=1, cache=tmp_path / "cache")
+        window_size_sweep(small_trace, [600], CONFIG, engine=engine)
+        SOLVE_COUNTER.reset()
+        window_size_sweep(
+            small_trace, [600],
+            SynthesisConfig(max_targets_per_bus=None, overlap_threshold=0.1),
+            engine=engine,
+        )
+        assert SOLVE_COUNTER.total > 0
+
+    def test_trace_change_misses_cache(self, small_trace, tmp_path):
+        engine = ExecutionEngine(jobs=1, cache=tmp_path / "cache")
+        window_size_sweep(small_trace, [600], CONFIG, engine=engine)
+        other = synthetic_trace(
+            burst_cycles=300, total_cycles=12_000, num_initiators=5,
+            num_targets=5, seed=8,
+        )
+        SOLVE_COUNTER.reset()
+        window_size_sweep(other, [600], CONFIG, engine=engine)
+        assert SOLVE_COUNTER.total > 0
+
+    def test_duplicate_tasks_solved_once(self, small_trace):
+        """Windows clamped to the trace length collapse to one solve."""
+        total = small_trace.total_cycles
+        SOLVE_COUNTER.reset()
+        single = window_size_sweep(
+            small_trace, [total], CONFIG, engine=ExecutionEngine(jobs=1)
+        )
+        solves_for_one = SOLVE_COUNTER.total
+        SOLVE_COUNTER.reset()
+        tripled = window_size_sweep(
+            small_trace,
+            [total, total * 2, total * 10],  # all clamp to total_cycles
+            CONFIG,
+            engine=ExecutionEngine(jobs=1),
+        )
+        assert SOLVE_COUNTER.total == solves_for_one
+        assert [p.total_buses for p in tripled] == [single[0].total_buses] * 3
+
+    def test_synthesize_single_point(self, small_trace, tmp_path):
+        engine = ExecutionEngine(jobs=1, cache=tmp_path / "cache")
+        first = engine.synthesize(small_trace, CONFIG, window_size=600)
+        SOLVE_COUNTER.reset()
+        second = engine.synthesize(small_trace, CONFIG, window_size=600)
+        assert SOLVE_COUNTER.total == 0
+        assert first == second
+
+
+class TestEngineConfiguration:
+    def test_jobs_zero_means_cpu_count(self):
+        assert ExecutionEngine(jobs=0).jobs >= 1
+        assert ExecutionEngine(jobs=None).jobs >= 1
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(jobs=-2)
+
+    def test_cache_path_coerced(self, tmp_path):
+        engine = ExecutionEngine(cache=str(tmp_path / "c"))
+        assert isinstance(engine.cache, ResultCache)
+
+    def test_task_validates_window(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisTask(config=SynthesisConfig(), window_size=0)
+
+
+class TestEvaluationFanOut:
+    @pytest.fixture(scope="class")
+    def qsort_setup(self):
+        app = build_application("qsort")
+        trace = app.simulate_full_crossbar().trace
+        return app, trace
+
+    def test_compare_designs_parallel_matches_serial(self, qsort_setup):
+        from repro.core import full_crossbar_design, shared_bus_design
+
+        app, trace = qsort_setup
+        designs = [shared_bus_design(trace), full_crossbar_design(trace)]
+        serial = compare_designs(app, designs)
+        parallel = compare_designs(
+            app, designs, engine=ExecutionEngine(jobs=2)
+        )
+        assert serial == parallel
+
+    def test_acceptable_window_search_parallel_matches_serial(
+        self, qsort_setup
+    ):
+        app, trace = qsort_setup
+        candidates = [200, 800]
+        serial = acceptable_window_search(app, trace, candidates)
+        parallel = acceptable_window_search(
+            app, trace, candidates, engine=ExecutionEngine(jobs=2)
+        )
+        assert serial == parallel
+
+    def test_registry_key_set_only_for_default_builds(self):
+        assert build_application("qsort").registry_key == "qsort"
+        customized = build_application("synthetic", burst_cycles=250)
+        assert customized.registry_key is None
+
+    def test_customized_app_parallel_matches_serial(self):
+        """Customized apps cannot be rebuilt by name in workers; the
+        parallel path must fall back to in-process simulation instead of
+        silently evaluating the default workload."""
+        from repro.core import full_crossbar_design, shared_bus_design
+
+        app = build_application(
+            "synthetic", burst_cycles=250, total_cycles=10_000
+        )
+        trace = app.simulate_full_crossbar().trace
+        designs = [shared_bus_design(trace), full_crossbar_design(trace)]
+        serial = compare_designs(app, designs)
+        parallel = compare_designs(app, designs, engine=ExecutionEngine(jobs=2))
+        assert serial == parallel

@@ -1,0 +1,114 @@
+"""Cache hit/miss semantics and on-disk robustness."""
+
+import pytest
+
+from repro.core import BusBinding, CrossbarDesign, SynthesisConfig
+from repro.errors import ReproError
+from repro.exec import ResultCache, SynthesisResult
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+def _result(num_buses: int = 2) -> SynthesisResult:
+    binding = BusBinding(
+        binding=tuple(i % num_buses for i in range(4)), num_buses=num_buses
+    )
+    return SynthesisResult(
+        design=CrossbarDesign(it=binding, ti=binding),
+        window_size=400,
+        config=SynthesisConfig(window_size=400),
+    )
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(KEY_A) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_put_then_get_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = _result()
+        cache.put(KEY_A, result)
+        assert cache.get(KEY_A) == result
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_keys_are_independent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result(2))
+        cache.put(KEY_B, _result(3))
+        assert cache.get(KEY_A).design.it.num_buses == 2
+        assert cache.get(KEY_B).design.it.num_buses == 3
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put(KEY_A, _result())
+        assert ResultCache(tmp_path).get(KEY_A) == _result()
+
+    def test_contains_and_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert KEY_A not in cache
+        cache.put(KEY_A, _result())
+        assert KEY_A in cache
+        assert list(cache.keys()) == [KEY_A]
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        cache.put(KEY_B, _result())
+        assert cache.clear() == 2
+        assert cache.get(KEY_A) is None
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        (tmp_path / f"{KEY_A}.json").write_text("{ not json", encoding="utf-8")
+        assert cache.get(KEY_A) is None
+        assert cache.stats.invalid == 1
+
+    def test_stale_format_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / f"{KEY_A}.json").write_text(
+            '{"format": "repro-result-v0"}', encoding="utf-8"
+        )
+        assert cache.get(KEY_A) is None
+        assert cache.stats.invalid == 1
+
+    def test_overwrite_replaces_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result(2))
+        cache.put(KEY_A, _result(3))
+        assert cache.get(KEY_A).design.it.num_buses == 3
+
+    def test_no_temp_file_litter(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_rejects_path_traversal_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for bad in ("", "../evil", "a/b", "dotted.key"):
+            with pytest.raises(ReproError):
+                cache.get(bad)
+
+    def test_rejects_cache_path_that_is_a_file(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("occupied", encoding="utf-8")
+        with pytest.raises(ReproError):
+            ResultCache(target)
+
+    def test_orphaned_temp_files_are_invisible(self, tmp_path):
+        """A writer killed mid-put leaves .tmp-*.json; keys()/clear()
+        must ignore it rather than treat it as an entry."""
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        (tmp_path / ".tmp-orphan.json").write_text("{}", encoding="utf-8")
+        assert list(cache.keys()) == [KEY_A]
+        assert cache.clear() == 1
+        assert list(cache.keys()) == []

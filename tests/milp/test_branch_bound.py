@@ -6,7 +6,6 @@ integer grid, with both LP engines.
 
 import itertools
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

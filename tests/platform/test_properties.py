@@ -12,7 +12,6 @@ check global invariants that must hold for *any* program mix:
 * determinism -- identical setups produce identical traces.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.platform import (
@@ -23,10 +22,7 @@ from repro.platform import (
     TargetConfig,
     TimingModel,
     Write,
-    full_crossbar_binding,
-    shared_bus_binding,
 )
-from repro.traffic.events import TransactionKind
 from repro.traffic.intervals import intersect, normalize
 
 

@@ -75,3 +75,36 @@ class TestCommands:
         out = capsys.readouterr().out
         for label in ("shared", "average-traffic", "windowed", "full"):
             assert label in out
+
+
+class TestEngineOptions:
+    def test_engine_defaults(self):
+        args = build_parser().parse_args(["design", "mat2"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_sweep_window_parallel_matches_serial(self, capsys):
+        argv = ["sweep-window", "--burst", "400", "--windows", "200", "1600"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_design_with_cache_dir_reuses_results(self, tmp_path, capsys):
+        from repro.core import SOLVE_COUNTER
+
+        argv = ["design", "qsort", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache:" in first
+
+        SOLVE_COUNTER.reset()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert SOLVE_COUNTER.total == 0  # warm cache: no solver work
+        assert "designed crossbar" in second
+
+    def test_negative_jobs_fails_cleanly(self, capsys):
+        assert main(["sweep-window", "--jobs", "-3"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -12,7 +12,7 @@ from repro.analysis import format_table, window_size_sweep, xy_plot
 from repro.apps.synthetic import synthetic_trace
 from repro.core import SynthesisConfig
 
-from _bench_utils import emit, engine_from_env
+from _bench_utils import emit, engine_from_env, note_kernel_speedup
 
 BURST = 1_000
 WINDOWS = [200, 300, 400, 750, 1_000, 2_000, 3_000, 4_000, 50_000, 120_000]
@@ -30,6 +30,7 @@ def test_fig5a_window_size_sweep(benchmark, results_dir):
         rounds=1,
         iterations=1,
     )
+    note_kernel_speedup(benchmark)
 
     table = format_table(
         ["window (cy)", "window/burst", "IT buses"],

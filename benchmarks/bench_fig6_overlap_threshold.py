@@ -14,7 +14,7 @@ from repro.analysis import bar_chart, format_table, overlap_threshold_sweep
 from repro.apps.synthetic import synthetic_trace
 from repro.core import SynthesisConfig
 
-from _bench_utils import emit, engine_from_env
+from _bench_utils import emit, engine_from_env, note_kernel_speedup
 
 THRESHOLDS = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50]
 WINDOW = 2_000  # twice the typical burst
@@ -30,6 +30,7 @@ def test_fig6_overlap_threshold_sweep(benchmark, results_dir):
         rounds=1,
         iterations=1,
     )
+    note_kernel_speedup(benchmark)
 
     table = format_table(
         ["threshold", "IT buses"],

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Gate bench timings against the committed baseline.
+
+Reads the machine-readable timings the bench session emits
+(``benchmarks/results/timings.json``) and compares each bench's mean
+against ``benchmarks/results/baseline.json``. A bench slower than
+``--max-ratio`` times its baseline fails the check (CI's perf gate);
+the per-bench ratios are also written to ``results/regression_report.json``
+so the perf artifact records the trajectory.
+
+Baselines are wall-clock means measured on one reference machine, so the
+gate is deliberately loose (default 2x): it catches algorithmic
+regressions -- e.g. losing the columnar-kernel speedup -- not scheduler
+noise.
+
+Usage::
+
+    python benchmarks/check_regression.py            # gate (CI)
+    python benchmarks/check_regression.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_FORMAT = "repro-bench-baseline-v1"
+
+
+def load_timings(path: Path) -> dict:
+    """Per-bench mean seconds from a pytest-benchmark timings dump."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    means = {}
+    for entry in payload.get("benchmarks", []):
+        name = entry.get("name")
+        mean = entry.get("mean")
+        if name and isinstance(mean, (int, float)):
+            means[name] = float(mean)
+    return means
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--timings", type=Path, default=RESULTS_DIR / "timings.json",
+        help="timings JSON written by the bench session",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=RESULTS_DIR / "baseline.json",
+        help="committed baseline JSON",
+    )
+    parser.add_argument(
+        "--max-ratio", type=float, default=2.0,
+        help="fail when mean exceeds baseline * ratio (default: 2.0)",
+    )
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="do not fail when a baselined bench is absent from the timings",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current timings and exit",
+    )
+    parser.add_argument(
+        "--headroom", type=float, default=1.5,
+        help="padding factor applied to measured means when writing the "
+        "baseline, absorbing cross-machine/CI scheduler variance "
+        "(default: 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.timings.exists():
+        print(f"error: no timings at {args.timings}; run the benches first")
+        return 1
+    measured = load_timings(args.timings)
+
+    if args.update_baseline:
+        payload = {
+            "format": BASELINE_FORMAT,
+            "note": (
+                "Upper-bound mean bench wall-clock seconds: measured "
+                f"reference-machine means padded by {args.headroom}x for "
+                "cross-machine and CI scheduler variance. CI fails when a "
+                "bench regresses past max-ratio times these values. "
+                "Regenerate with 'python benchmarks/check_regression.py "
+                "--update-baseline' after intentional performance changes."
+            ),
+            "measured_means_s": {
+                name: round(mean, 4) for name, mean in sorted(measured.items())
+            },
+            "benchmarks": {
+                name: round(mean * args.headroom, 4)
+                for name, mean in sorted(measured.items())
+            },
+        }
+        args.baseline.parent.mkdir(exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"baseline updated: {args.baseline} ({len(measured)} benches, "
+            f"means padded {args.headroom}x)"
+        )
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}")
+        return 1
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    expected = baseline.get("benchmarks", {})
+
+    failures = []
+    report = {}
+    for name, reference in sorted(expected.items()):
+        mean = measured.get(name)
+        if mean is None:
+            report[name] = {"baseline_s": reference, "status": "missing"}
+            message = f"  {name}: MISSING from timings (baseline {reference}s)"
+            if args.allow_missing:
+                print(message + " [allowed]")
+            else:
+                print(message)
+                failures.append(name)
+            continue
+        ratio = mean / reference if reference else float("inf")
+        status = "ok" if ratio <= args.max_ratio else "regression"
+        report[name] = {
+            "baseline_s": reference,
+            "mean_s": round(mean, 4),
+            "ratio": round(ratio, 3),
+            "status": status,
+        }
+        print(
+            f"  {name}: {mean:.4f}s vs baseline {reference:.4f}s "
+            f"-> {ratio:.2f}x [{status}]"
+        )
+        if status == "regression":
+            failures.append(name)
+    for name in sorted(set(measured) - set(expected)):
+        report[name] = {"mean_s": round(measured[name], 4), "status": "new"}
+        print(f"  {name}: {measured[name]:.4f}s (no baseline yet)")
+
+    report_path = args.timings.parent / "regression_report.json"
+    report_path.write_text(
+        json.dumps(
+            {"max_ratio": args.max_ratio, "benchmarks": report},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    if failures:
+        print(
+            f"FAIL: {len(failures)} bench(es) regressed past "
+            f"{args.max_ratio}x the committed baseline: {', '.join(failures)}"
+        )
+        return 1
+    print(f"OK: {len(report)} bench(es) within {args.max_ratio}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

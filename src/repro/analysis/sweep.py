@@ -16,6 +16,14 @@ route through the :class:`~repro.exec.engine.ExecutionEngine`: pass
 ``engine=ExecutionEngine(jobs=8, cache="...")`` to fan points out over
 worker processes and/or skip already-solved points. Results are
 deterministic -- identical point lists whatever the job count.
+
+Sweep points additionally share all per-trace analytics state: the
+engine warms the columnar kernel compilation
+(:func:`repro.traffic.kernels.warm_analytics`, covering the mirrored
+trace for the TI side) before solving, so a ten-point window sweep
+compiles the trace once -- not ten times -- and a threshold sweep, whose
+points share one window geometry, additionally reuses the ``comm``/``wo``
+tensors themselves across points.
 """
 
 from __future__ import annotations

@@ -12,13 +12,17 @@ All commands print plain-text tables (see :mod:`repro.analysis.report`).
 Commands that solve or simulate independent points accept ``--jobs``
 (process-pool fan-out) and ``--cache-dir`` (content-addressed result
 cache, reused across invocations) and route through
-:class:`repro.exec.ExecutionEngine`.
+:class:`repro.exec.ExecutionEngine`. The same commands accept
+``--profile``, which prints a per-phase wall-clock breakdown
+(windowing / overlap / conflicts / solve) from
+:data:`repro.profiling.PHASE_TIMER`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis import (
@@ -37,6 +41,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.exec import ExecutionEngine
+from repro.profiling import PHASE_TIMER
 from repro.traffic import save_trace_jsonl
 
 __all__ = ["main", "build_parser"]
@@ -53,6 +58,40 @@ def _add_engine_options(subparser: argparse.ArgumentParser) -> None:
         help="content-addressed result cache; repeated runs skip "
         "already-solved points",
     )
+    subparser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase timing breakdown (windowing / overlap / "
+        "conflicts / solve) after the run",
+    )
+
+
+class _PhaseProfile:
+    """Collects and prints the per-phase breakdown around one command.
+
+    Phases are timed by the process-global
+    :data:`repro.profiling.PHASE_TIMER`; with ``--jobs`` > 1 the
+    synthesis work runs in pool workers whose timers this process cannot
+    see, so the report warns when most phases recorded nothing.
+    """
+
+    def __init__(self, enabled: bool, jobs: int) -> None:
+        self.enabled = enabled
+        self.jobs = jobs
+        if enabled:
+            PHASE_TIMER.reset()
+        self._begin = time.perf_counter()
+
+    def report(self) -> None:
+        if not self.enabled:
+            return
+        elapsed = time.perf_counter() - self._begin
+        print()
+        print(PHASE_TIMER.format_report(total_elapsed=elapsed))
+        if self.jobs > 1 and not PHASE_TIMER.totals:
+            print(
+                "note: with --jobs > 1 synthesis phases run in worker "
+                "processes and are timed there, not here"
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +190,7 @@ def _cmd_design(args) -> int:
     app = build_application(args.app)
     engine = _engine_from_args(args)
     config = _config_from_args(args)
+    profile = _PhaseProfile(args.profile, args.jobs)
     print(f"designing crossbars for {app.name} ({app.num_cores} cores) ...")
     full_run = app.simulate_full_crossbar()
     result = engine.synthesize(
@@ -188,12 +228,14 @@ def _cmd_design(args) -> int:
         )
     if engine.cache is not None:
         print(f"cache: {engine.cache.stats}")
+    profile.report()
     return 0
 
 
 def _cmd_compare(args) -> int:
     app = build_application(args.app)
     engine = _engine_from_args(args)
+    profile = _PhaseProfile(args.profile, args.jobs)
     trace = app.simulate_full_crossbar().trace
     windowed = engine.synthesize(
         trace,
@@ -226,6 +268,7 @@ def _cmd_compare(args) -> int:
             title=f"design comparison on {app.name}",
         )
     )
+    profile.report()
     return 0
 
 
@@ -242,6 +285,7 @@ def _cmd_trace(args) -> int:
 
 def _cmd_sweep_window(args) -> int:
     engine = _engine_from_args(args)
+    profile = _PhaseProfile(args.profile, args.jobs)
     trace = synthetic_trace(
         burst_cycles=args.burst, total_cycles=max(80_000, args.burst * 40)
     )
@@ -264,6 +308,7 @@ def _cmd_sweep_window(args) -> int:
     )
     if engine.cache is not None:
         print(f"cache: {engine.cache.stats}")
+    profile.report()
     return 0
 
 

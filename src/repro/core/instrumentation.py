@@ -15,7 +15,19 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-__all__ = ["SolveCounter", "SOLVE_COUNTER", "record_solve"]
+from repro.profiling import PHASE_TIMER, PhaseTimer, track_phase
+
+__all__ = [
+    "SolveCounter",
+    "SOLVE_COUNTER",
+    "record_solve",
+    # Phase wall-clock accounting lives in :mod:`repro.profiling` (below
+    # the traffic layer, to avoid import cycles) and is re-exported here
+    # alongside the solver counter it mirrors.
+    "PhaseTimer",
+    "PHASE_TIMER",
+    "track_phase",
+]
 
 
 class SolveCounter:

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.problem import CrossbarDesignProblem
 from repro.core.spec import SynthesisConfig
+from repro.profiling import track_phase
 
 __all__ = ["ConflictAnalysis", "build_conflicts"]
 
@@ -74,7 +75,13 @@ class ConflictAnalysis:
 def build_conflicts(
     problem: CrossbarDesignProblem, config: SynthesisConfig
 ) -> ConflictAnalysis:
-    """Run the pre-processing phase on a design problem."""
+    """Run the pre-processing phase on a design problem.
+
+    Both windowed rules are evaluated as whole-tensor array operations
+    (one comparison over ``wo`` and one over the pairwise demand sums)
+    instead of a Python loop over target pairs; only the resulting
+    conflict pairs are walked to record provenance.
+    """
     num_targets = problem.num_targets
     capacities = problem.capacities
     matrix = np.zeros((num_targets, num_targets), dtype=bool)
@@ -85,18 +92,22 @@ def build_conflicts(
         matrix[i, j] = matrix[j, i] = True
         reasons.setdefault(pair, set()).add(rule)
 
-    threshold_cycles = config.overlap_threshold * capacities
-    for i in range(num_targets):
-        for j in range(i + 1, num_targets):
-            if (problem.wo[i, j] > threshold_cycles).any():
+    with track_phase("conflicts"):
+        threshold_cycles = config.overlap_threshold * capacities
+        over_threshold = (problem.wo > threshold_cycles).any(axis=2)
+        combined = problem.comm[:, None, :] + problem.comm[None, :, :]
+        over_bandwidth = (combined > capacities).any(axis=2)
+        candidates = np.triu(over_threshold | over_bandwidth, k=1)
+        for i, j in np.argwhere(candidates):
+            i, j = int(i), int(j)
+            if over_threshold[i, j]:
                 mark(i, j, "threshold")
-            combined = problem.comm[i] + problem.comm[j]
-            if (combined > capacities).any():
+            if over_bandwidth[i, j]:
                 mark(i, j, "bandwidth")
 
-    if config.use_criticality:
-        for i, j in problem.criticality.conflicting_pairs:
-            mark(i, j, "real-time")
+        if config.use_criticality:
+            for i, j in problem.criticality.conflicting_pairs:
+                mark(i, j, "real-time")
 
     return ConflictAnalysis(
         matrix=matrix,

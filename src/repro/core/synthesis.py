@@ -27,6 +27,7 @@ from repro.core.search import SearchOutcome, search_minimum_buses
 from repro.core.spec import BusBinding, CrossbarDesign, SynthesisConfig
 from repro.core.validate import audit_binding
 from repro.platform.soc import SimulationResult
+from repro.profiling import track_phase
 from repro.traffic.trace import TrafficTrace
 
 __all__ = ["SideReport", "SynthesisReport", "CrossbarSynthesizer"]
@@ -151,17 +152,18 @@ class CrossbarSynthesizer:
 
     def _design_side(self, problem: CrossbarDesignProblem) -> SideReport:
         conflicts = build_conflicts(problem, self.config)
-        search = search_minimum_buses(problem, conflicts, self.config)
-        binding = optimize_binding(
-            problem, conflicts, search.num_buses, self.config
-        )
-        audit_binding(
-            problem,
-            conflicts,
-            binding.binding,
-            self.config.max_targets_per_bus,
-            raise_on_violation=True,
-        )
+        with track_phase("solve"):
+            search = search_minimum_buses(problem, conflicts, self.config)
+            binding = optimize_binding(
+                problem, conflicts, search.num_buses, self.config
+            )
+            audit_binding(
+                problem,
+                conflicts,
+                binding.binding,
+                self.config.max_targets_per_bus,
+                raise_on_violation=True,
+            )
         return SideReport(
             problem=problem, conflicts=conflicts, search=search, binding=binding
         )

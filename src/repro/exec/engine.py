@@ -35,6 +35,7 @@ from repro.exec.cache import ResultCache
 from repro.exec.fingerprint import task_key, trace_fingerprint
 from repro.exec.serialize import SynthesisResult
 from repro.platform.metrics import LatencyStats
+from repro.traffic.kernels import warm_analytics
 from repro.traffic.trace import TrafficTrace
 
 __all__ = ["SynthesisTask", "EvaluationOutcome", "ExecutionEngine"]
@@ -77,6 +78,11 @@ _WORKER_TRACE: Optional[TrafficTrace] = None
 def _install_worker_trace(trace: TrafficTrace) -> None:
     global _WORKER_TRACE
     _WORKER_TRACE = trace
+    # The parent warms the columnar analytics before spawning the pool,
+    # so under ``fork`` (and via the pickled initargs under ``spawn``)
+    # the compiled form arrives pre-built; this call is then a no-op,
+    # and otherwise guarantees one compilation per worker, not per task.
+    warm_analytics(trace)
 
 
 def _solve_task_in_worker(
@@ -235,6 +241,11 @@ class ExecutionEngine:
     def _solve_pending(
         self, trace: TrafficTrace, tasks: Sequence[SynthesisTask]
     ) -> List[SynthesisResult]:
+        # Compile the trace's columnar analytics (both crossbar sides)
+        # once, before any point is solved: the serial path reuses it
+        # across every task, and pool workers inherit it instead of
+        # compiling per sweep point.
+        warm_analytics(trace)
         if self.jobs > 1 and len(tasks) > 1:
             try:
                 return self._solve_parallel(trace, tasks)

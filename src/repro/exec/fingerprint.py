@@ -54,7 +54,14 @@ def trace_fingerprint(trace: TrafficTrace) -> str:
     criticality). Records are hashed in the trace's canonical (sorted)
     order, so equal traces produce equal fingerprints regardless of the
     record order they were built from.
+
+    The digest is memoized on the trace object: traces are immutable,
+    and sweep drivers fingerprint the same trace once per ``run_sweep``
+    call, so repeated hashing of a large record list is pure waste.
     """
+    memoized = trace.__dict__.get("_fingerprint")
+    if memoized is not None:
+        return memoized
     digest = hashlib.sha256()
     header = canonical_json(
         {
@@ -83,7 +90,9 @@ def trace_fingerprint(trace: TrafficTrace) -> str:
             int(record.critical),
         )
         digest.update(canonical_json(row).encode("utf-8"))
-    return digest.hexdigest()
+    result = digest.hexdigest()
+    trace.__dict__["_fingerprint"] = result
+    return result
 
 
 def config_fingerprint(config: SynthesisConfig) -> str:

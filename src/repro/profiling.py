@@ -1,0 +1,104 @@
+"""Per-phase wall-clock accounting for the synthesis pipeline.
+
+The synthesis flow decomposes into four phases whose relative cost the
+``--profile`` CLI flag reports: **windowing** (building ``comm`` /
+``critical_comm``), **overlap** (the pairwise ``wo`` tensor and
+criticality analysis), **conflicts** (the pre-processing rules) and
+**solve** (configuration search plus optimal binding). The library
+reports into a process-global :class:`PhaseTimer` -- the same pattern as
+:data:`repro.core.instrumentation.SOLVE_COUNTER`, and with the same
+caveat: work fanned out to pool workers is timed in the workers, not in
+the parent process.
+
+This module sits below every other ``repro`` subpackage (it imports only
+the standard library) so that traffic-, core- and exec-layer code can
+all report phases without import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = ["PhaseTimer", "PHASE_TIMER", "track_phase"]
+
+PHASES = ("windowing", "overlap", "conflicts", "solve")
+"""Canonical phase order for reports (unknown phases sort after these)."""
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds and entry counts per phase."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        """Accumulated seconds per phase (a copy)."""
+        return dict(self._totals)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Number of tracked entries per phase (a copy)."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero all accumulators."""
+        self._totals.clear()
+        self._counts.clear()
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Record ``seconds`` of work attributed to ``phase``."""
+        self._totals[phase] = self._totals.get(phase, 0.0) + seconds
+        self._counts[phase] = self._counts.get(phase, 0) + 1
+
+    @contextmanager
+    def track(self, phase: str) -> Iterator[None]:
+        """Time a ``with`` block and attribute it to ``phase``."""
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(phase, time.perf_counter() - begin)
+
+    def format_report(self, total_elapsed: Optional[float] = None) -> str:
+        """Plain-text per-phase breakdown (for the ``--profile`` flag).
+
+        ``total_elapsed`` adds an ``other`` row covering the time spent
+        outside every tracked phase (simulation, I/O, cache look-ups).
+        """
+        rows = []
+        tracked = 0.0
+        order = {name: rank for rank, name in enumerate(PHASES)}
+        for phase in sorted(
+            self._totals, key=lambda name: (order.get(name, len(order)), name)
+        ):
+            seconds = self._totals[phase]
+            tracked += seconds
+            rows.append((phase, seconds, self._counts.get(phase, 0)))
+        if total_elapsed is not None:
+            rows.append(("other", max(0.0, total_elapsed - tracked), 0))
+        denominator = total_elapsed if total_elapsed else tracked
+        lines = ["phase breakdown (wall-clock):"]
+        if not rows:
+            lines.append("  (no phases recorded)")
+        for phase, seconds, count in rows:
+            share = seconds / denominator if denominator else 0.0
+            calls = f"{count:>5}x" if count else "      "
+            lines.append(
+                f"  {phase:<10} {seconds:>9.4f} s  {share:>6.1%}  {calls}"
+            )
+        if total_elapsed is not None:
+            lines.append(f"  {'total':<10} {total_elapsed:>9.4f} s")
+        return "\n".join(lines)
+
+
+PHASE_TIMER = PhaseTimer()
+"""The process-global timer the pipeline phases report to."""
+
+
+def track_phase(phase: str, timer: Optional[PhaseTimer] = None):
+    """Context manager timing one pipeline phase (module-level hook)."""
+    return (timer or PHASE_TIMER).track(phase)

@@ -16,6 +16,7 @@ platform simulation.
 
 from repro.traffic.events import TraceRecord, TransactionKind
 from repro.traffic.trace import TrafficTrace
+from repro.traffic.kernels import CompiledActivity, TraceAnalytics, warm_analytics
 from repro.traffic.windows import WindowedTraffic
 from repro.traffic.overlap import PairwiseOverlap
 from repro.traffic.criticality import CriticalityReport, analyze_criticality
@@ -27,6 +28,9 @@ __all__ = [
     "TraceRecord",
     "TransactionKind",
     "TrafficTrace",
+    "CompiledActivity",
+    "TraceAnalytics",
+    "warm_analytics",
     "WindowedTraffic",
     "PairwiseOverlap",
     "CriticalityReport",

@@ -9,7 +9,9 @@ guarantee. This module derives those forbidden pairs from a trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Tuple
+
+import numpy as np
 
 from repro.traffic.overlap import PairwiseOverlap
 from repro.traffic.windows import WindowedTraffic
@@ -51,12 +53,15 @@ def analyze_criticality(windowed: WindowedTraffic) -> CriticalityReport:
     if len(critical_targets) < 2:
         return CriticalityReport(critical_targets=critical_targets)
     critical_overlap = PairwiseOverlap(windowed, critical_only=True)
-    conflicting: List[Tuple[int, int]] = []
-    for idx, i in enumerate(critical_targets):
-        for j in critical_targets[idx + 1 :]:
-            if critical_overlap.max_window_overlap(i, j) > 0:
-                conflicting.append((i, j))
+    # A pair conflicts iff its critical streams overlap in any window,
+    # i.e. the aggregate overlap is positive. Targets without critical
+    # traffic have empty critical timelines (zero rows), so scanning the
+    # upper triangle reproduces the critical-targets pair loop exactly.
+    above_diagonal = np.triu(critical_overlap.overlap_matrix, k=1)
+    conflicting = tuple(
+        (int(i), int(j)) for i, j in np.argwhere(above_diagonal > 0)
+    )
     return CriticalityReport(
         critical_targets=critical_targets,
-        conflicting_pairs=tuple(conflicting),
+        conflicting_pairs=conflicting,
     )

@@ -14,14 +14,56 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import WindowError
+from repro.profiling import track_phase
 from repro.traffic.intervals import intersect
+from repro.traffic.kernels import TraceAnalytics
 from repro.traffic.windows import WindowedTraffic
 
-__all__ = ["PairwiseOverlap"]
+__all__ = ["PairwiseOverlap", "legacy_overlap_tensor"]
+
+
+def legacy_overlap_tensor(
+    windowed: WindowedTraffic, critical_only: bool = False
+) -> np.ndarray:
+    """Reference ``wo`` builder: per-pair two-pointer interval merges.
+
+    The original implementation -- intersect every pair of per-target
+    interval lists and bin the result. Kept as the ground truth the
+    vectorized kernel (:meth:`CompiledActivity.overlap_tensor`) is
+    equivalence-tested against.
+    """
+    trace = windowed.trace
+    num_targets = trace.num_targets
+    tensor = np.zeros(
+        (num_targets, num_targets, windowed.num_windows), dtype=np.int64
+    )
+    activities = [
+        trace.target_activity(idx, critical_only=critical_only)
+        for idx in range(num_targets)
+    ]
+    for i in range(num_targets):
+        if not activities[i]:
+            continue
+        for j in range(i + 1, num_targets):
+            if not activities[j]:
+                continue
+            common = intersect(activities[i], activities[j])
+            if not common:
+                continue
+            bins = windowed._bin_activity(common)
+            tensor[i, j] = bins
+            tensor[j, i] = bins
+    return tensor
 
 
 class PairwiseOverlap:
     """Computes and stores ``wo[i][j][m]`` and ``om[i][j]`` for a trace.
+
+    The all-pairs tensor is produced by the vectorized columnar kernels
+    (:mod:`repro.traffic.kernels`); the trace is compiled once and the
+    result memoized per window geometry, so repeated constructions over
+    the same trace (threshold sweeps, criticality analysis after the
+    total-traffic overlap) cost array lookups, not interval merges.
 
     Parameters
     ----------
@@ -35,27 +77,10 @@ class PairwiseOverlap:
     def __init__(self, windowed: WindowedTraffic, critical_only: bool = False) -> None:
         self.windowed = windowed
         self.critical_only = critical_only
-        trace = windowed.trace
-        num_targets = trace.num_targets
-        self._wo = np.zeros(
-            (num_targets, num_targets, windowed.num_windows), dtype=np.int64
-        )
-        activities = [
-            trace.target_activity(idx, critical_only=critical_only)
-            for idx in range(num_targets)
-        ]
-        for i in range(num_targets):
-            if not activities[i]:
-                continue
-            for j in range(i + 1, num_targets):
-                if not activities[j]:
-                    continue
-                common = intersect(activities[i], activities[j])
-                if not common:
-                    continue
-                bins = windowed._bin_activity(common)
-                self._wo[i, j] = bins
-                self._wo[j, i] = bins
+        with track_phase("overlap"):
+            self._wo = TraceAnalytics.of(windowed.trace).wo(
+                windowed.boundaries, critical_only=critical_only
+            )
 
     @property
     def wo(self) -> np.ndarray:

@@ -81,6 +81,8 @@ class TrafficTrace:
             raise TraceError("initiator_names length does not match num_initiators")
         self._target_activity: Dict[Tuple[int, bool], List[Interval]] = {}
         self._initiator_activity: Dict[Tuple[int, bool], List[Interval]] = {}
+        self._mirror: Optional["TrafficTrace"] = None
+        self._critical_targets: Optional[List[int]] = None
 
     @property
     def records(self) -> List[TraceRecord]:
@@ -105,15 +107,24 @@ class TrafficTrace:
 
         With ``critical_only`` the timeline is restricted to transactions
         flagged as real-time (paper Sec. 7.3).
+
+        The timelines of *all* targets of a flavor are built in one pass
+        over the records on first use (the old per-target filtering
+        re-walked the whole record list once per target).
         """
         self._check_target(target)
         key = (target, critical_only)
         if key not in self._target_activity:
-            self._target_activity[key] = normalize(
-                (rec.it_grant, rec.it_release)
-                for rec in self._records
-                if rec.target == target and (rec.critical or not critical_only)
-            )
+            grouped: List[List[Interval]] = [
+                [] for _ in range(self.num_targets)
+            ]
+            for rec in self._records:
+                if rec.critical or not critical_only:
+                    grouped[rec.target].append((rec.it_grant, rec.it_release))
+            for index, intervals in enumerate(grouped):
+                self._target_activity[(index, critical_only)] = normalize(
+                    intervals
+                )
         return self._target_activity[key]
 
     def initiator_activity(
@@ -124,16 +135,24 @@ class TrafficTrace:
         This is the mirror-image timeline used to design the
         target->initiator crossbar: on that crossbar, buses are shared by
         *initiators*, so the relevant stream is the response traffic each
-        initiator receives.
+        initiator receives. Like :meth:`target_activity`, all initiators
+        of a flavor are grouped in a single pass over the records.
         """
         self._check_initiator(initiator)
         key = (initiator, critical_only)
         if key not in self._initiator_activity:
-            self._initiator_activity[key] = normalize(
-                (rec.ti_grant, rec.ti_release)
-                for rec in self._records
-                if rec.initiator == initiator and (rec.critical or not critical_only)
-            )
+            grouped: List[List[Interval]] = [
+                [] for _ in range(self.num_initiators)
+            ]
+            for rec in self._records:
+                if rec.critical or not critical_only:
+                    grouped[rec.initiator].append(
+                        (rec.ti_grant, rec.ti_release)
+                    )
+            for index, intervals in enumerate(grouped):
+                self._initiator_activity[(index, critical_only)] = normalize(
+                    intervals
+                )
         return self._initiator_activity[key]
 
     def target_busy_cycles(self, target: int) -> int:
@@ -142,8 +161,11 @@ class TrafficTrace:
 
     def critical_targets(self) -> List[int]:
         """Targets that receive at least one critical transaction."""
-        found = sorted({rec.target for rec in self._records if rec.critical})
-        return found
+        if self._critical_targets is None:
+            self._critical_targets = sorted(
+                {rec.target for rec in self._records if rec.critical}
+            )
+        return list(self._critical_targets)
 
     def latencies(self) -> List[int]:
         """Per-transaction packet latencies, in record order."""
@@ -158,7 +180,13 @@ class TrafficTrace:
         windowing/synthesis pipeline designs the target->initiator
         crossbar, exactly as the paper prescribes ("the target-initiator
         crossbar can be designed in a similar fashion").
+
+        The mirror is memoized: sweeps design both crossbar sides per
+        point, and rebuilding (and re-validating) every record for each
+        point dominated the old sweep profile.
         """
+        if self._mirror is not None:
+            return self._mirror
         mirrored_records = [
             TraceRecord(
                 initiator=rec.target,
@@ -178,7 +206,7 @@ class TrafficTrace:
             )
             for rec in self._records
         ]
-        return TrafficTrace(
+        self._mirror = TrafficTrace(
             mirrored_records,
             num_initiators=self.num_targets,
             num_targets=self.num_initiators,
@@ -186,6 +214,7 @@ class TrafficTrace:
             target_names=self.initiator_names,
             initiator_names=self.target_names,
         )
+        return self._mirror
 
     def _check_target(self, target: int) -> None:
         if not 0 <= target < self.num_targets:

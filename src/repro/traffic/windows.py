@@ -26,10 +26,30 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import WindowError
+from repro.profiling import track_phase
 from repro.traffic.intervals import coverage_in_bins, coverage_in_windows
+from repro.traffic.kernels import TraceAnalytics
 from repro.traffic.trace import TrafficTrace
 
-__all__ = ["WindowedTraffic"]
+__all__ = ["WindowedTraffic", "legacy_comm_matrix"]
+
+
+def legacy_comm_matrix(
+    windowed: "WindowedTraffic", critical_only: bool = False
+) -> np.ndarray:
+    """Reference ``comm`` builder: per-target interval lists, binned.
+
+    This is the original pure-Python path (activity filtering via
+    :meth:`TrafficTrace.target_activity` plus interval binning); the
+    vectorized kernels in :mod:`repro.traffic.kernels` are asserted
+    byte-identical to it by the equivalence test-suite.
+    """
+    trace = windowed.trace
+    matrix = np.zeros((trace.num_targets, windowed.num_windows), dtype=np.int64)
+    for target in range(trace.num_targets):
+        activity = trace.target_activity(target, critical_only=critical_only)
+        matrix[target] = windowed._bin_activity(activity)
+    return matrix
 
 
 class WindowedTraffic:
@@ -97,7 +117,8 @@ class WindowedTraffic:
                 self.num_windows, self.window_size, dtype=np.int64
             )
             self._edges = None
-        self._comm = self._build_comm(critical_only=False)
+        with track_phase("windowing"):
+            self._comm = self._build_comm(critical_only=False)
         self._critical_comm: Optional[np.ndarray] = None
 
     @property
@@ -120,11 +141,18 @@ class WindowedTraffic:
         return coverage_in_bins(activity, self._edges)
 
     def _build_comm(self, critical_only: bool) -> np.ndarray:
-        matrix = np.zeros((self.trace.num_targets, self.num_windows), dtype=np.int64)
-        for target in range(self.trace.num_targets):
-            activity = self.trace.target_activity(target, critical_only=critical_only)
-            matrix[target] = self._bin_activity(activity)
-        return matrix
+        """``comm`` via the columnar kernels (compiled once per trace).
+
+        The compiled form and the per-geometry results are memoized on
+        the trace (:class:`~repro.traffic.kernels.TraceAnalytics`), so
+        re-segmenting the same trace with a different window size -- or
+        asking for :attr:`critical_comm` after :attr:`comm` -- never
+        re-walks the records. ``legacy_comm_matrix`` keeps the original
+        interval-list path available as the reference implementation.
+        """
+        return TraceAnalytics.of(self.trace).comm(
+            self.boundaries, critical_only=critical_only
+        )
 
     @property
     def num_targets(self) -> int:
@@ -141,9 +169,14 @@ class WindowedTraffic:
 
     @property
     def critical_comm(self) -> np.ndarray:
-        """Like :attr:`comm` but counting only critical (real-time) traffic."""
+        """Like :attr:`comm` but counting only critical (real-time) traffic.
+
+        Memoized, and served by the same compiled kernel state as
+        :attr:`comm` -- requesting both costs one record walk, not two.
+        """
         if self._critical_comm is None:
-            self._critical_comm = self._build_comm(critical_only=True)
+            with track_phase("windowing"):
+                self._critical_comm = self._build_comm(critical_only=True)
         return self._critical_comm
 
     def utilization(self) -> np.ndarray:

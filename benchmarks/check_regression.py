@@ -70,6 +70,11 @@ def main(argv=None) -> int:
         "baseline, absorbing cross-machine/CI scheduler variance "
         "(default: 1.5)",
     )
+    parser.add_argument(
+        "--record-new", action="store_true",
+        help="append padded baseline entries for benches that have none "
+        "yet (existing entries are left untouched)",
+    )
     args = parser.parse_args(argv)
 
     if not args.timings.exists():
@@ -107,10 +112,17 @@ def main(argv=None) -> int:
         )
         return 0
 
-    if not args.baseline.exists():
-        print(f"error: no baseline at {args.baseline}")
-        return 1
-    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    # A bench without a baseline entry is *new*: it is recorded in the
+    # report (and optionally into the baseline via --record-new) but can
+    # never fail the gate -- otherwise adding a bench would break CI
+    # before its baseline is committed. An absent baseline file is the
+    # degenerate case where every bench is new.
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    else:
+        print(f"note: no baseline at {args.baseline}; all benches are new")
+        baseline = {"format": BASELINE_FORMAT, "benchmarks": {},
+                    "measured_means_s": {}}
     expected = baseline.get("benchmarks", {})
 
     failures = []
@@ -140,9 +152,28 @@ def main(argv=None) -> int:
         )
         if status == "regression":
             failures.append(name)
-    for name in sorted(set(measured) - set(expected)):
+    new_benches = sorted(set(measured) - set(expected))
+    for name in new_benches:
         report[name] = {"mean_s": round(measured[name], 4), "status": "new"}
-        print(f"  {name}: {measured[name]:.4f}s (no baseline yet)")
+        print(f"  {name}: {measured[name]:.4f}s (no baseline yet -- recorded)")
+    if args.record_new and new_benches:
+        for name in new_benches:
+            baseline.setdefault("measured_means_s", {})[name] = round(
+                measured[name], 4
+            )
+            baseline.setdefault("benchmarks", {})[name] = round(
+                measured[name] * args.headroom, 4
+            )
+        args.baseline.parent.mkdir(exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"recorded {len(new_benches)} new baseline entr"
+            f"{'y' if len(new_benches) == 1 else 'ies'} "
+            f"(means padded {args.headroom}x) into {args.baseline}"
+        )
 
     report_path = args.timings.parent / "regression_report.json"
     report_path.write_text(

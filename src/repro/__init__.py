@@ -38,7 +38,17 @@ from repro.exec import (
     SynthesisResult,
     SynthesisTask,
 )
+from repro.core.multi import RobustSynthesisReport, RobustSynthesizer
 from repro.platform import SimulationResult, SoC, SoCConfig, TimingModel
+from repro.scenarios import (
+    Scenario,
+    ScenarioSuite,
+    ScenarioSuiteRunner,
+    SuiteRunReport,
+    build_suite,
+    load_suite,
+    save_suite,
+)
 from repro.traffic import (
     SyntheticTrafficConfig,
     TrafficTrace,
@@ -85,4 +95,14 @@ __all__ = [
     "ResultCache",
     "SynthesisResult",
     "SynthesisTask",
+    # scenarios
+    "Scenario",
+    "ScenarioSuite",
+    "ScenarioSuiteRunner",
+    "SuiteRunReport",
+    "RobustSynthesizer",
+    "RobustSynthesisReport",
+    "build_suite",
+    "save_suite",
+    "load_suite",
 ]

@@ -22,11 +22,16 @@ by :class:`repro.platform.SoC` and the synthesis flow.
 """
 
 from repro.apps.descriptor import Application, standard_platform
-from repro.apps.registry import APPLICATIONS, build_application
+from repro.apps.registry import (
+    APPLICATIONS,
+    build_application,
+    default_full_crossbar_trace,
+)
 
 __all__ = [
     "Application",
     "standard_platform",
     "APPLICATIONS",
     "build_application",
+    "default_full_crossbar_trace",
 ]

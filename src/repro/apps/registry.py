@@ -12,8 +12,9 @@ from repro.apps.matrix import build_mat1, build_mat2
 from repro.apps.qsort import build_qsort
 from repro.apps.synthetic import build_synthetic
 from repro.errors import ApplicationError
+from repro.traffic.trace import TrafficTrace
 
-__all__ = ["APPLICATIONS", "build_application"]
+__all__ = ["APPLICATIONS", "build_application", "default_full_crossbar_trace"]
 
 APPLICATIONS: Dict[str, Callable[..., Application]] = {
     "mat1": build_mat1,
@@ -49,3 +50,22 @@ def build_application(name: str, **kwargs) -> Application:
     if not kwargs:
         application = replace(application, registry_key=name)
     return application
+
+
+_DEFAULT_TRACES: Dict[str, TrafficTrace] = {}
+
+
+def default_full_crossbar_trace(name: str) -> TrafficTrace:
+    """The Phase-1 full-crossbar trace of a *default* registry build.
+
+    Memoized per process: the platform simulation is deterministic, and
+    scenario suites, sweeps and examples repeatedly need the stock
+    applications' traffic -- one simulation per process serves every
+    consumer (the trace object is immutable, so sharing is safe).
+    Builds with keyword overrides are not cached; simulate those
+    explicitly.
+    """
+    if name not in _DEFAULT_TRACES:
+        trace = build_application(name).simulate_full_crossbar().trace
+        _DEFAULT_TRACES[name] = trace
+    return _DEFAULT_TRACES[name]

@@ -7,6 +7,9 @@ The CLI wraps the library's main entry points for quick exploration::
     python -m repro compare des --jobs 4
     python -m repro trace mat2 -o mat2.jsonl
     python -m repro sweep-window --burst 1000 --jobs 4 --cache-dir .cache
+    python -m repro scenarios list
+    python -m repro scenarios run smoke --jobs 4 --report suite.json
+    python -m repro scenarios export mixed -o mixed.json
 
 All commands print plain-text tables (see :mod:`repro.analysis.report`).
 Commands that solve or simulate independent points accept ``--jobs``
@@ -154,6 +157,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=[200, 500, 1_000, 2_000, 4_000, 20_000],
     )
     _add_engine_options(sweep)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="multi-use-case suites: one robust crossbar for many workloads",
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command",
+                                             required=True)
+    scenarios_sub.add_parser(
+        "list", help="list the built-in scenario suites"
+    )
+    run = scenarios_sub.add_parser(
+        "run",
+        help="synthesize every scenario plus one robust design for a suite",
+    )
+    run.add_argument(
+        "suite",
+        help="built-in suite name (see 'scenarios list') or a suite JSON file",
+    )
+    run.add_argument(
+        "--policy", choices=("union", "worst-case", "weighted"),
+        default="union", help="conflict/problem merge policy",
+    )
+    run.add_argument(
+        "--min-weight", type=float, default=0.5,
+        help="weighted policy: minimum weight fraction for a conflict "
+        "pair to survive the merge",
+    )
+    run.add_argument(
+        "--threshold", type=float, default=0.3,
+        help="overlap threshold as a fraction of the window (0..0.5)",
+    )
+    run.add_argument(
+        "--maxtb", type=int, default=4,
+        help="max targets per bus (0 disables the limit)",
+    )
+    run.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="also write the aggregated report as JSON",
+    )
+    _add_engine_options(run)
+    export = scenarios_sub.add_parser(
+        "export", help="write a built-in suite as an editable JSON file"
+    )
+    export.add_argument("suite", help="built-in suite name")
+    export.add_argument("-o", "--output", required=True, help="output path")
     return parser
 
 
@@ -312,6 +360,84 @@ def _cmd_sweep_window(args) -> int:
     return 0
 
 
+def _resolve_suite(name: str):
+    """A built-in suite by name, or a suite loaded from a JSON file."""
+    from pathlib import Path
+
+    from repro.scenarios import SUITES, build_suite, load_suite
+
+    if name in SUITES:
+        return build_suite(name)
+    if Path(name).exists():
+        return load_suite(name)
+    return build_suite(name)  # raises with the list of known suites
+
+
+def _cmd_scenarios_list() -> int:
+    from repro.scenarios import SUITES, build_suite
+
+    rows = []
+    for name in sorted(SUITES):
+        suite = build_suite(name)
+        rows.append([name, len(suite), suite.description])
+    print(format_table(["suite", "scenarios", "description"], rows))
+    return 0
+
+
+def _cmd_scenarios_run(args) -> int:
+    from repro.scenarios import ScenarioSuiteRunner
+
+    suite = _resolve_suite(args.suite)
+    engine = _engine_from_args(args)
+    profile = _PhaseProfile(args.profile, args.jobs)
+    config = SynthesisConfig(
+        overlap_threshold=args.threshold,
+        max_targets_per_bus=args.maxtb or None,
+    )
+    print(
+        f"running scenario suite '{suite.name}' "
+        f"({len(suite)} scenarios, policy={args.policy}, jobs={engine.jobs}) ..."
+    )
+    runner = ScenarioSuiteRunner(
+        engine=engine,
+        config=config,
+        policy=args.policy,
+        min_weight=args.min_weight,
+    )
+    report = runner.run(suite)
+    print(report.summary())
+    if args.report:
+        import json
+
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote aggregated JSON report to {args.report}")
+    if engine.cache is not None:
+        print(f"cache: {engine.cache.stats}")
+    profile.report()
+    return 0
+
+
+def _cmd_scenarios_export(args) -> int:
+    from repro.scenarios import build_suite, save_suite
+
+    suite = build_suite(args.suite)
+    save_suite(suite, args.output)
+    print(f"wrote suite '{suite.name}' ({len(suite)} scenarios) to {args.output}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    if args.scenarios_command == "list":
+        return _cmd_scenarios_list()
+    if args.scenarios_command == "run":
+        return _cmd_scenarios_run(args)
+    if args.scenarios_command == "export":
+        return _cmd_scenarios_export(args)
+    raise AssertionError(f"unhandled scenarios command {args.scenarios_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -326,6 +452,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "sweep-window":
             return _cmd_sweep_window(args)
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -29,6 +29,14 @@ from repro.core.preprocess import ConflictAnalysis, build_conflicts
 from repro.core.search import search_minimum_buses
 from repro.core.binding import optimize_binding, random_feasible_binding
 from repro.core.synthesis import CrossbarSynthesizer, SynthesisReport
+from repro.core.multi import (
+    MERGE_POLICIES,
+    RobustSynthesisReport,
+    RobustSynthesizer,
+    merge_conflict_analyses,
+    merge_criticality,
+    merge_problems,
+)
 from repro.core.baselines import (
     average_traffic_design,
     full_crossbar_design,
@@ -49,6 +57,12 @@ __all__ = [
     "random_feasible_binding",
     "CrossbarSynthesizer",
     "SynthesisReport",
+    "MERGE_POLICIES",
+    "RobustSynthesizer",
+    "RobustSynthesisReport",
+    "merge_problems",
+    "merge_conflict_analyses",
+    "merge_criticality",
     "average_traffic_design",
     "peak_bandwidth_design",
     "full_crossbar_design",

@@ -83,7 +83,11 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError, ReproError):
+        # ValueError covers UnicodeDecodeError (binary garbage in the
+        # file) and any json.JSONDecodeError not already subsumed by it:
+        # a corrupted or truncated entry is a miss to re-solve and
+        # overwrite, never an error.
+        except (OSError, ValueError, ReproError):
             self.stats.misses += 1
             self.stats.invalid += 1
             return None

@@ -99,6 +99,14 @@ def _solve_task(trace: TrafficTrace, task: SynthesisTask) -> SynthesisResult:
     return SynthesisResult.from_report(report)
 
 
+def _solve_batch_item(
+    index: int, trace: TrafficTrace, task: SynthesisTask
+) -> Tuple[int, SynthesisResult]:
+    """Pool entry point for batch items, which carry their own trace."""
+    warm_analytics(trace)
+    return index, _solve_task(trace, task)
+
+
 def _simulate_outcome(
     application,
     it_binding,
@@ -272,6 +280,105 @@ class ExecutionEngine:
                 index, result = future.result()
                 by_index[index] = result
         return [by_index[index] for index in range(len(tasks))]
+
+    # -- batches (one task per trace) ---------------------------------
+
+    def run_batch(
+        self,
+        items: Sequence[Tuple[TrafficTrace, SynthesisTask]],
+        applications: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[SynthesisResult]:
+        """Solve one synthesis point per (trace, task) pair, in order.
+
+        Where :meth:`run_sweep` fans many tasks out over *one* shared
+        trace, a batch fans out over many traces -- the scenario-suite
+        pattern: each suite member contributes its own trace and its own
+        analysis window. Caching works exactly as for sweeps (each item
+        is keyed by its trace's fingerprint), identical items share one
+        solve, and pool failures degrade to the serial path, so batch
+        results are deterministic whatever the job count.
+
+        ``applications`` optionally tags each item's cache key with a
+        stable source name (e.g. the scenario name), preventing
+        collisions between same-shaped traces from different builders.
+        """
+        if applications is None:
+            applications = [None] * len(items)
+        if len(applications) != len(items):
+            raise ConfigurationError(
+                f"{len(applications)} application tags for {len(items)} items"
+            )
+        results: List[Optional[SynthesisResult]] = [None] * len(items)
+        pending: List[Tuple[int, Optional[str]]] = []
+        for index, ((trace, task), application) in enumerate(zip(items, applications)):
+            key = None
+            if self.cache is not None:
+                key = task_key(
+                    trace_fingerprint(trace),
+                    task.config,
+                    task.window_size,
+                    application,
+                )
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            pending.append((index, key))
+
+        if pending:
+            # Items with identical content (same trace fingerprint and
+            # task) share one solve, keyed by the cache key when a cache
+            # is active and by identity otherwise.
+            distinct: List[Tuple[TrafficTrace, SynthesisTask]] = []
+            slot: Dict[Tuple[str, SynthesisTask], int] = {}
+            placement: List[int] = []
+            for index, _key in pending:
+                trace, task = items[index]
+                ident = (trace_fingerprint(trace), task)
+                if ident not in slot:
+                    slot[ident] = len(distinct)
+                    distinct.append(items[index])
+                placement.append(slot[ident])
+            solved = self._solve_batch(distinct)
+            stored = set()
+            for (index, key), position in zip(pending, placement):
+                result = solved[position]
+                results[index] = result
+                if self.cache is not None and key is not None and key not in stored:
+                    self.cache.put(key, result)
+                    stored.add(key)
+        return results  # type: ignore[return-value]
+
+    def _solve_batch(
+        self, items: Sequence[Tuple[TrafficTrace, SynthesisTask]]
+    ) -> List[SynthesisResult]:
+        if self.jobs > 1 and len(items) > 1:
+            try:
+                return self._solve_batch_parallel(items)
+            except (BrokenProcessPool, OSError):
+                pass  # pool infrastructure failure: degrade to serial
+        results = []
+        for trace, task in items:
+            warm_analytics(trace)
+            results.append(_solve_task(trace, task))
+        return results
+
+    def _solve_batch_parallel(
+        self, items: Sequence[Tuple[TrafficTrace, SynthesisTask]]
+    ) -> List[SynthesisResult]:
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(_solve_batch_item, index, trace, task)
+                for index, (trace, task) in enumerate(items)
+            ]
+            by_index: Dict[int, SynthesisResult] = {}
+            for future in futures:
+                index, result = future.result()
+                by_index[index] = result
+        return [by_index[index] for index in range(len(items))]
 
     # -- evaluation ---------------------------------------------------
 

@@ -1,0 +1,51 @@
+"""Workload scenarios and multi-use-case robust synthesis.
+
+The paper designs one crossbar per application; a shipping SoC serves
+many use-cases. This subpackage turns the reproduction into a
+fleet-scale design service:
+
+* :mod:`~repro.scenarios.model` -- the :class:`Scenario` record (a
+  named workload binding a traffic source to load scaling, weights and
+  QoS constraints) and the :class:`ScenarioSuite` container with JSON
+  round-trip,
+* :mod:`~repro.scenarios.library` -- built-in suites stamped out from
+  the synthetic profile generators and the registered applications,
+* :mod:`~repro.scenarios.runner` -- the suite runner: per-scenario
+  synthesis fanned out through the
+  :class:`~repro.exec.engine.ExecutionEngine`, one robust design via
+  :class:`~repro.core.multi.RobustSynthesizer`, per-scenario replay
+  validation and an aggregated report with a Pareto view.
+"""
+
+from repro.scenarios.model import (
+    SUITE_FORMAT,
+    Scenario,
+    ScenarioSuite,
+    load_suite,
+    save_suite,
+    suite_from_dict,
+    suite_to_dict,
+)
+from repro.scenarios.library import SUITES, build_suite
+from repro.scenarios.runner import (
+    ScenarioOutcome,
+    SuiteParetoPoint,
+    SuiteRunReport,
+    ScenarioSuiteRunner,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioSuite",
+    "SUITE_FORMAT",
+    "suite_to_dict",
+    "suite_from_dict",
+    "save_suite",
+    "load_suite",
+    "SUITES",
+    "build_suite",
+    "ScenarioSuiteRunner",
+    "ScenarioOutcome",
+    "SuiteParetoPoint",
+    "SuiteRunReport",
+]

@@ -1,0 +1,192 @@
+"""Built-in scenario suites.
+
+Each builder stamps a :class:`~repro.scenarios.model.ScenarioSuite` out
+of the profile generators and registered applications. The suites share
+one platform shape per suite (a robust crossbar needs identical core
+counts across its scenarios) and are sized for their purpose:
+
+* ``smoke`` -- four small, structurally distinct workloads; finishes in
+  seconds and is the CI acceptance suite.
+* ``mixed`` -- the paper's synthetic burst benchmark next to hotspot,
+  open-loop and streaming use-cases at the 10x10 platform size.
+* ``loadramp`` -- one burst workload replayed at four offered-load
+  levels, the classic robustness-vs-load study.
+* ``apps`` -- two registered MPSoC applications (full and thinned
+  load) sharing the standard 2N+3 platform shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.scenarios.model import Scenario, ScenarioSuite
+
+__all__ = ["SUITES", "build_suite"]
+
+
+def _build_smoke() -> ScenarioSuite:
+    shape = {"num_initiators": 6, "num_targets": 6, "total_cycles": 24_000}
+    return ScenarioSuite(
+        name="smoke",
+        description="four small distinct workloads on a 6x6 platform "
+        "(CI-sized: seconds, not minutes)",
+        scenarios=(
+            Scenario(
+                name="burst-sync",
+                source="profile:burst",
+                params={**shape, "burst_cycles": 400, "gap_cycles": 1_000,
+                        "seed": 11},
+                window_size=800,
+                weight=3.0,
+                description="paper-style sync-group bursts",
+            ),
+            Scenario(
+                name="hotspot-dram",
+                source="profile:hotspot",
+                params={**shape, "hotspot_targets": (0, 1),
+                        "hotspot_fraction": 0.5, "mean_gap": 150, "seed": 12},
+                window_size=800,
+                weight=2.0,
+                description="half of all packets hit two shared targets",
+            ),
+            Scenario(
+                name="poisson-background",
+                source="profile:poisson",
+                params={**shape, "rate": 0.003, "spread": 0.3, "seed": 13},
+                window_size=800,
+                weight=1.0,
+                description="memoryless open-loop background load",
+            ),
+            Scenario(
+                name="pipeline-stream",
+                source="profile:pipeline",
+                params={**shape, "frame_cycles": 4_000, "slot_cycles": 1_000,
+                        "stage_lag": 450, "seed": 14},
+                window_size=800,
+                weight=2.0,
+                description="staged producer/consumer frames",
+            ),
+        ),
+    )
+
+
+def _build_mixed() -> ScenarioSuite:
+    shape = {"num_initiators": 10, "num_targets": 10, "total_cycles": 60_000}
+    return ScenarioSuite(
+        name="mixed",
+        description="the paper's synthetic burst benchmark next to "
+        "hotspot, open-loop and streaming use-cases (10x10)",
+        scenarios=(
+            Scenario(
+                name="burst-benchmark",
+                source="profile:burst",
+                params={**shape, "burst_cycles": 1_000, "gap_cycles": 2_500,
+                        "seed": 3},
+                window_size=2_000,
+                weight=4.0,
+                description="Sec. 7.2 benchmark traffic",
+            ),
+            Scenario(
+                name="burst-critical",
+                source="profile:burst",
+                params={**shape, "burst_cycles": 1_000, "gap_cycles": 2_500,
+                        "seed": 4},
+                critical_targets=(2, 5),
+                window_size=2_000,
+                weight=2.0,
+                description="same load with two real-time streams (Sec. 7.3)",
+            ),
+            Scenario(
+                name="hotspot-framebuffer",
+                source="profile:hotspot",
+                params={**shape, "hotspot_targets": (0,),
+                        "hotspot_fraction": 0.4, "mean_gap": 200, "seed": 5},
+                window_size=2_000,
+                weight=2.0,
+            ),
+            Scenario(
+                name="poisson-idle",
+                source="profile:poisson",
+                params={**shape, "rate": 0.002, "spread": 0.2, "seed": 6},
+                window_size=2_000,
+                weight=1.0,
+            ),
+            Scenario(
+                name="pipeline-video",
+                source="profile:pipeline",
+                params={**shape, "frame_cycles": 10_000, "slot_cycles": 2_400,
+                        "stage_lag": 1_100, "seed": 7},
+                window_size=2_000,
+                weight=3.0,
+            ),
+        ),
+    )
+
+
+def _build_loadramp() -> ScenarioSuite:
+    shape = {"num_initiators": 8, "num_targets": 8, "total_cycles": 40_000,
+             "burst_cycles": 600, "gap_cycles": 1_800}
+    levels = (0.6, 1.0, 1.5, 2.0)
+    return ScenarioSuite(
+        name="loadramp",
+        description="one burst workload at four offered-load levels "
+        "(robustness vs load)",
+        scenarios=tuple(
+            Scenario(
+                name=f"load-{int(level * 100):03d}",
+                source="profile:burst",
+                params={**shape, "seed": 21},
+                load_scale=level,
+                weight=1.0,
+                window_size=1_200,
+                description=f"burst workload at {level:.1f}x nominal load",
+            )
+            for level in levels
+        ),
+    )
+
+
+def _build_apps() -> ScenarioSuite:
+    return ScenarioSuite(
+        name="apps",
+        description="a registered MPSoC application at full and thinned "
+        "load (mat2, 21 cores)",
+        scenarios=(
+            Scenario(
+                name="mat2-full",
+                source="app:mat2",
+                weight=3.0,
+                description="pipelined matmul at nominal load",
+            ),
+            Scenario(
+                name="mat2-light",
+                source="app:mat2",
+                load_scale=0.6,
+                weight=1.0,
+                description="the same application, deterministically "
+                "thinned to 60% of its packets",
+            ),
+        ),
+    )
+
+
+SUITES: Dict[str, Callable[[], ScenarioSuite]] = {
+    "smoke": _build_smoke,
+    "mixed": _build_mixed,
+    "loadramp": _build_loadramp,
+    "apps": _build_apps,
+}
+"""Builders for every built-in scenario suite."""
+
+
+def build_suite(name: str) -> ScenarioSuite:
+    """Build a built-in suite by registry name."""
+    try:
+        builder = SUITES[name]
+    except KeyError:
+        known = ", ".join(sorted(SUITES))
+        raise ConfigurationError(
+            f"unknown scenario suite {name!r}; available: {known}"
+        ) from None
+    return builder()

@@ -1,0 +1,428 @@
+"""The scenario-suite runner: fleet synthesis behind one entry point.
+
+:class:`ScenarioSuiteRunner` takes a :class:`~repro.scenarios.model.ScenarioSuite`
+and produces a :class:`SuiteRunReport`:
+
+1. every scenario's trace is built deterministically,
+2. every scenario is synthesized *individually* through the
+   :class:`~repro.exec.engine.ExecutionEngine` -- scenarios fan out over
+   worker processes and solved points come back from the
+   content-addressed cache on repeat runs,
+3. one *robust* crossbar is synthesized across all scenarios
+   (:class:`~repro.core.multi.RobustSynthesizer`) under the selected
+   merge policy,
+4. the shared design is replayed against every scenario's own problem
+   (capacity + separation audit, per-scenario worst-case overlap),
+5. the report aggregates everything: a per-scenario table (own optimum
+   vs the robust design), violation tables, and a Pareto view over
+   (bus count, worst-case overlap) across all candidate designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.textplot import xy_plot
+from repro.core.binding import binding_overlap_objective
+from repro.core.multi import (
+    RobustSynthesisReport,
+    RobustSynthesizer,
+    ScenarioSideCheck,
+    _check_policy,
+    _empty_conflicts,
+)
+from repro.core.problem import CrossbarDesignProblem
+from repro.core.spec import BusBinding, CrossbarDesign, SynthesisConfig
+from repro.core.validate import audit_binding
+from repro.errors import ConfigurationError
+from repro.exec.engine import ExecutionEngine, SynthesisTask
+from repro.exec.serialize import SynthesisResult, result_to_dict
+from repro.scenarios.model import Scenario, ScenarioSuite
+from repro.traffic.kernels import warm_analytics
+from repro.traffic.trace import TrafficTrace
+
+__all__ = [
+    "REPORT_FORMAT",
+    "ScenarioOutcome",
+    "SuiteParetoPoint",
+    "SuiteRunReport",
+    "ScenarioSuiteRunner",
+]
+
+REPORT_FORMAT = "repro-scenario-report-v1"
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Everything the suite run learned about one scenario."""
+
+    scenario: Scenario
+    num_records: int
+    total_cycles: int
+    window_size: int
+    individual: SynthesisResult
+    it_check: ScenarioSideCheck
+    ti_check: ScenarioSideCheck
+
+    @property
+    def individual_buses(self) -> int:
+        """This scenario's own optimal bus count (both crossbars)."""
+        return self.individual.bus_count
+
+    @property
+    def violations(self) -> Tuple[str, ...]:
+        """All replay violations of the robust design on this scenario."""
+        return (
+            self.it_check.capacity_violations
+            + self.it_check.separation_violations
+            + self.ti_check.capacity_violations
+            + self.ti_check.separation_violations
+        )
+
+    @property
+    def worst_case_overlap(self) -> int:
+        """Worst per-bus overlap (cycles) under the robust design."""
+        return max(self.it_check.max_bus_overlap, self.ti_check.max_bus_overlap)
+
+
+@dataclass(frozen=True)
+class SuiteParetoPoint:
+    """One candidate design evaluated across the whole suite.
+
+    ``worst_case_overlap`` is the suite-wide maximum of Eq. 11's
+    objective (the serialization-latency proxy the binding optimizer
+    minimizes); ``violations`` counts capacity/separation failures when
+    the candidate is replayed on every scenario. The Pareto front is
+    taken over (bus_count, worst_case_overlap) among violation-free
+    candidates.
+    """
+
+    label: str
+    bus_count: int
+    worst_case_overlap: int
+    violations: int
+    on_front: bool = False
+
+
+@dataclass(frozen=True)
+class SuiteRunReport:
+    """Aggregated outcome of one scenario-suite run."""
+
+    suite_name: str
+    policy: str
+    robust: RobustSynthesisReport
+    outcomes: Tuple[ScenarioOutcome, ...]
+    pareto: Tuple[SuiteParetoPoint, ...]
+
+    @property
+    def robust_buses(self) -> int:
+        return self.robust.design.bus_count
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(outcome.violations) for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        """The aggregated plain-text report."""
+        rows = [
+            [
+                outcome.scenario.name,
+                outcome.scenario.source,
+                outcome.num_records,
+                outcome.window_size,
+                f"{outcome.individual.design.it.num_buses}+"
+                f"{outcome.individual.design.ti.num_buses}",
+                outcome.individual_buses,
+                len(outcome.violations),
+                outcome.worst_case_overlap,
+            ]
+            for outcome in self.outcomes
+        ]
+        parts = [
+            format_table(
+                ["scenario", "source", "packets", "window", "own IT+TI",
+                 "own buses", "robust viol", "robust maxov"],
+                rows,
+                title=f"scenario suite '{self.suite_name}' "
+                f"({len(self.outcomes)} scenarios, policy={self.policy})",
+            ),
+            "",
+            self.robust.summary(),
+        ]
+        violation_rows = [
+            [outcome.scenario.name, violation]
+            for outcome in self.outcomes
+            for violation in outcome.violations
+        ]
+        if violation_rows:
+            parts += [
+                "",
+                format_table(
+                    ["scenario", "violation"],
+                    violation_rows,
+                    title="replay violations of the robust design",
+                ),
+            ]
+        parts += [
+            "",
+            format_table(
+                ["design", "buses", "worst maxov", "violations", "pareto"],
+                [
+                    [
+                        point.label,
+                        point.bus_count,
+                        point.worst_case_overlap,
+                        point.violations,
+                        "*" if point.on_front else "",
+                    ]
+                    for point in self.pareto
+                ],
+                title="suite-wide design candidates "
+                "(buses vs worst-case overlap)",
+            ),
+        ]
+        feasible = [point for point in self.pareto if point.violations == 0]
+        if len(feasible) >= 2:
+            parts += [
+                "",
+                xy_plot(
+                    [float(point.bus_count) for point in feasible],
+                    [float(point.worst_case_overlap) for point in feasible],
+                    title="feasible candidates: worst-case overlap vs buses",
+                    x_label="buses",
+                    y_label="maxov",
+                ),
+            ]
+        return "\n".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready encoding of the aggregated report."""
+
+        def binding_dict(binding: BusBinding) -> Dict[str, Any]:
+            return {
+                "binding": list(binding.binding),
+                "num_buses": binding.num_buses,
+                "max_bus_overlap": binding.max_bus_overlap,
+                "optimal": binding.optimal,
+            }
+
+        def check_dict(check: ScenarioSideCheck) -> Dict[str, Any]:
+            return {
+                "capacity_violations": list(check.capacity_violations),
+                "separation_violations": list(check.separation_violations),
+                "max_bus_overlap": check.max_bus_overlap,
+            }
+
+        return {
+            "format": REPORT_FORMAT,
+            "suite": self.suite_name,
+            "policy": self.policy,
+            "robust": {
+                "label": self.robust.design.label,
+                "bus_count": self.robust.design.bus_count,
+                "it": binding_dict(self.robust.design.it),
+                "ti": binding_dict(self.robust.design.ti),
+                "it_conflicts": self.robust.it_report.conflicts.num_conflicts,
+                "ti_conflicts": self.robust.ti_report.conflicts.num_conflicts,
+                "total_violations": self.robust.total_violations,
+            },
+            "scenarios": [
+                {
+                    "scenario": outcome.scenario.to_dict(),
+                    "packets": outcome.num_records,
+                    "total_cycles": outcome.total_cycles,
+                    "window_size": outcome.window_size,
+                    "individual": result_to_dict(outcome.individual),
+                    "it_check": check_dict(outcome.it_check),
+                    "ti_check": check_dict(outcome.ti_check),
+                }
+                for outcome in self.outcomes
+            ],
+            "pareto": [
+                {
+                    "label": point.label,
+                    "bus_count": point.bus_count,
+                    "worst_case_overlap": point.worst_case_overlap,
+                    "violations": point.violations,
+                    "on_front": point.on_front,
+                }
+                for point in self.pareto
+            ],
+        }
+
+
+class ScenarioSuiteRunner:
+    """Drives a suite end to end; see the module docstring."""
+
+    def __init__(
+        self,
+        engine: Optional[ExecutionEngine] = None,
+        config: Optional[SynthesisConfig] = None,
+        policy: str = "union",
+        min_weight: float = 0.5,
+    ) -> None:
+        _check_policy(policy)
+        self.engine = engine if engine is not None else ExecutionEngine(jobs=1)
+        self.config = config or SynthesisConfig()
+        self.policy = policy
+        self.min_weight = min_weight
+
+    def run(self, suite: ScenarioSuite) -> SuiteRunReport:
+        """Synthesize the suite: every scenario alone, then one robust
+        crossbar validated against all of them."""
+        scenarios = list(suite.scenarios)
+        traces = [scenario.build_trace() for scenario in scenarios]
+        self._check_platform(suite, scenarios, traces)
+        windows = [
+            scenario.effective_window(trace)
+            for scenario, trace in zip(scenarios, traces)
+        ]
+
+        # Per-scenario individual optima: parallel + cached via the engine.
+        tasks = [
+            SynthesisTask(
+                config=replace(self.config, window_size=window),
+                window_size=window,
+            )
+            for window in windows
+        ]
+        individuals = self.engine.run_batch(
+            list(zip(traces, tasks)),
+            applications=[
+                f"scenario:{scenario.source}:{scenario.name}"
+                for scenario in scenarios
+            ],
+        )
+
+        # One robust design across all scenarios (single solve, so it
+        # runs in-process; the analytics kernels are warmed per trace).
+        for trace in traces:
+            warm_analytics(trace)
+        names = [scenario.name for scenario in scenarios]
+        it_problems = [
+            CrossbarDesignProblem.from_trace(trace, window)
+            for trace, window in zip(traces, windows)
+        ]
+        ti_problems = [
+            CrossbarDesignProblem.from_trace(trace.mirrored(), window)
+            for trace, window in zip(traces, windows)
+        ]
+        robust = RobustSynthesizer(
+            self.config, policy=self.policy, min_weight=self.min_weight
+        ).design_from_problems(
+            it_problems, ti_problems, names=names, weights=suite.weights
+        )
+
+        outcomes = tuple(
+            ScenarioOutcome(
+                scenario=scenario,
+                num_records=len(trace),
+                total_cycles=trace.total_cycles,
+                window_size=window,
+                individual=individual,
+                it_check=it_check,
+                ti_check=ti_check,
+            )
+            for scenario, trace, window, individual, it_check, ti_check in zip(
+                scenarios,
+                traces,
+                windows,
+                individuals,
+                robust.it_report.scenario_checks,
+                robust.ti_report.scenario_checks,
+            )
+        )
+        pareto = self._pareto_view(
+            outcomes, robust.design, it_problems, ti_problems
+        )
+        return SuiteRunReport(
+            suite_name=suite.name,
+            policy=self.policy,
+            robust=robust,
+            outcomes=outcomes,
+            pareto=pareto,
+        )
+
+    @staticmethod
+    def _check_platform(
+        suite: ScenarioSuite,
+        scenarios: Sequence[Scenario],
+        traces: Sequence[TrafficTrace],
+    ) -> None:
+        shape = (traces[0].num_initiators, traces[0].num_targets)
+        for scenario, trace in zip(scenarios[1:], traces[1:]):
+            if (trace.num_initiators, trace.num_targets) != shape:
+                raise ConfigurationError(
+                    f"suite {suite.name!r}: scenario {scenario.name!r} runs "
+                    f"on a {trace.num_initiators}x{trace.num_targets} "
+                    f"platform but the suite started with "
+                    f"{shape[0]}x{shape[1]}; a shared crossbar needs one "
+                    f"platform shape"
+                )
+
+    def _pareto_view(
+        self,
+        outcomes: Sequence[ScenarioOutcome],
+        robust_design: CrossbarDesign,
+        it_problems: Sequence[CrossbarDesignProblem],
+        ti_problems: Sequence[CrossbarDesignProblem],
+    ) -> Tuple[SuiteParetoPoint, ...]:
+        """Evaluate every candidate design across the whole suite.
+
+        Candidates are each scenario's own optimal design plus the
+        robust design. A candidate tuned to one scenario typically
+        violates capacity or separation constraints on the others --
+        which is exactly what the table demonstrates.
+        """
+        candidates: List[Tuple[str, CrossbarDesign]] = [
+            (outcome.scenario.name, outcome.individual.design)
+            for outcome in outcomes
+        ]
+        candidates.append((robust_design.label, robust_design))
+
+        evaluated = []
+        for label, design in candidates:
+            worst = 0
+            violations = 0
+            for it_problem, ti_problem in zip(it_problems, ti_problems):
+                for problem, binding in (
+                    (it_problem, design.it),
+                    (ti_problem, design.ti),
+                ):
+                    violations += len(
+                        audit_binding(
+                            problem,
+                            _empty_conflicts(problem.num_targets),
+                            binding.binding,
+                            max_targets_per_bus=None,
+                        )
+                    )
+                    worst = max(
+                        worst,
+                        binding_overlap_objective(problem, binding.binding),
+                    )
+            evaluated.append((label, design.bus_count, worst, violations))
+
+        points = []
+        for label, buses, worst, violations in evaluated:
+            dominated = violations == 0 and any(
+                other_violations == 0
+                and other_buses <= buses
+                and other_worst <= worst
+                and (other_buses < buses or other_worst < worst)
+                for _other, other_buses, other_worst, other_violations in evaluated
+            )
+            points.append(
+                SuiteParetoPoint(
+                    label=label,
+                    bus_count=buses,
+                    worst_case_overlap=worst,
+                    violations=violations,
+                    on_front=violations == 0 and not dominated,
+                )
+            )
+        return tuple(points)
+
+

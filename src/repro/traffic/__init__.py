@@ -22,6 +22,16 @@ from repro.traffic.overlap import PairwiseOverlap
 from repro.traffic.criticality import CriticalityReport, analyze_criticality
 from repro.traffic.qos import phase_aligned_boundaries
 from repro.traffic.synthetic import SyntheticTrafficConfig, generate_synthetic_trace
+from repro.traffic.profiles import (
+    HotspotTrafficConfig,
+    PipelineTrafficConfig,
+    PoissonTrafficConfig,
+    generate_hotspot_trace,
+    generate_pipeline_trace,
+    generate_poisson_trace,
+    scaled_config,
+    thin_trace,
+)
 from repro.traffic.io import load_trace_jsonl, save_trace_jsonl
 
 __all__ = [
@@ -38,6 +48,14 @@ __all__ = [
     "phase_aligned_boundaries",
     "SyntheticTrafficConfig",
     "generate_synthetic_trace",
+    "HotspotTrafficConfig",
+    "PoissonTrafficConfig",
+    "PipelineTrafficConfig",
+    "generate_hotspot_trace",
+    "generate_poisson_trace",
+    "generate_pipeline_trace",
+    "scaled_config",
+    "thin_trace",
     "save_trace_jsonl",
     "load_trace_jsonl",
 ]

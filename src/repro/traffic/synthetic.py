@@ -24,7 +24,11 @@ from repro.errors import ConfigurationError
 from repro.traffic.events import TraceRecord, TransactionKind
 from repro.traffic.trace import TrafficTrace
 
-__all__ = ["SyntheticTrafficConfig", "generate_synthetic_trace"]
+__all__ = [
+    "SyntheticTrafficConfig",
+    "generate_synthetic_trace",
+    "write_packet",
+]
 
 
 @dataclass(frozen=True)
@@ -123,10 +127,22 @@ def _jittered(rng: random.Random, base: int, jitter: float) -> int:
     return max(1, rng.randint(low, high))
 
 
-def generate_synthetic_trace(config: SyntheticTrafficConfig) -> TrafficTrace:
-    """Generate a synthetic burst trace according to ``config``."""
+def generate_synthetic_trace(
+    config: SyntheticTrafficConfig,
+    rng: Optional[random.Random] = None,
+) -> TrafficTrace:
+    """Generate a synthetic burst trace according to ``config``.
+
+    All randomness is drawn from ``rng`` (default: a fresh
+    ``random.Random(config.seed)``) -- never from the interpreter-global
+    :mod:`random` state -- so two generations from equal configs are
+    record-identical regardless of what other code seeded globally.
+    That stability is what keeps scenario fingerprints (and therefore
+    the execution engine's result cache) valid across processes.
+    """
     config.validate()
-    rng = random.Random(config.seed)
+    if rng is None:
+        rng = random.Random(config.seed)
     critical = set(config.critical_targets)
     records: List[TraceRecord] = []
 
@@ -158,6 +174,41 @@ def generate_synthetic_trace(config: SyntheticTrafficConfig) -> TrafficTrace:
     )
 
 
+def write_packet(
+    cursor: int,
+    initiator: int,
+    target: int,
+    words: int,
+    critical: bool = False,
+) -> TraceRecord:
+    """One ``words``-word write packet issued at ``cursor``.
+
+    The timing breakdown matches the burst generator's model (header
+    cycle + one cycle per word on the IT bus, single-cycle write
+    acknowledge on the TI bus); every synthetic profile emits packets
+    through this helper so traces from all profiles flow through the
+    windowing pipeline with identical per-packet semantics.
+    """
+    it_release = cursor + 1 + words
+    ti_release = it_release + 1  # single-cycle write acknowledge
+    return TraceRecord(
+        initiator=initiator,
+        target=target,
+        kind=TransactionKind.WRITE,
+        burst=words,
+        issue=cursor,
+        it_grant=cursor,
+        it_release=it_release,
+        service_start=it_release,
+        service_end=it_release,
+        ti_grant=it_release,
+        ti_release=ti_release,
+        complete=ti_release,
+        critical=critical,
+        stream=f"i{initiator}->t{target}",
+    )
+
+
 def _burst_packets(
     start: int,
     end: int,
@@ -171,25 +222,8 @@ def _burst_packets(
     records: List[TraceRecord] = []
     cursor = start
     while cursor + packet_cost <= end:
-        it_release = cursor + packet_cost
-        ti_release = it_release + 1  # single-cycle write acknowledge
         records.append(
-            TraceRecord(
-                initiator=initiator,
-                target=target,
-                kind=TransactionKind.WRITE,
-                burst=config.packet_words,
-                issue=cursor,
-                it_grant=cursor,
-                it_release=it_release,
-                service_start=it_release,
-                service_end=it_release,
-                ti_grant=it_release,
-                ti_release=ti_release,
-                complete=ti_release,
-                critical=critical,
-                stream=f"i{initiator}->t{target}",
-            )
+            write_packet(cursor, initiator, target, config.packet_words, critical)
         )
-        cursor = it_release + config.packet_gap
+        cursor += packet_cost + config.packet_gap
     return records

@@ -33,6 +33,15 @@ class TestRegistry:
         assert app.num_initiators == arms
         assert app.num_targets == cores - arms
 
+    def test_default_trace_is_memoized_per_process(self):
+        from repro.apps import default_full_crossbar_trace
+
+        first = default_full_crossbar_trace("qsort")
+        second = default_full_crossbar_trace("qsort")
+        assert first is second  # one Phase-1 simulation serves everyone
+        fresh = build_application("qsort").simulate_full_crossbar().trace
+        assert first.records == fresh.records
+
 
 class TestBenchmarkTraffic:
     @pytest.fixture(scope="class")

@@ -1,0 +1,138 @@
+"""Property tests for multi-scenario merging (hypothesis).
+
+The robustness guarantees the scenario subsystem leans on:
+
+* the union-merged conflict matrix *dominates* every per-scenario
+  matrix (element-wise implication),
+* the robust (union-merged) design problem never admits fewer buses
+  than any individual scenario's optimum,
+* the robust witness binding replays on every scenario without
+  violations.
+
+Problems are drawn directly as randomized ``comm``/``wo`` tensors (not
+traces) so the search spaces stay small enough for exhaustive solving
+inside hypothesis's example budget.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    SynthesisConfig,
+    audit_binding,
+    build_conflicts,
+    merge_conflict_analyses,
+    merge_problems,
+    search_minimum_buses,
+)
+from repro.core.problem import CrossbarDesignProblem
+from repro.traffic.criticality import CriticalityReport
+
+CAPACITY = 100
+CONFIG = SynthesisConfig(
+    max_targets_per_bus=None, use_criticality=False, overlap_threshold=0.3
+)
+
+
+@st.composite
+def design_problem(draw, num_targets):
+    """A consistent random problem: wo[i][j][m] <= min of the comms."""
+    num_windows = draw(st.integers(1, 3))
+    comm = np.array(
+        [
+            [draw(st.integers(0, CAPACITY)) for _ in range(num_windows)]
+            for _ in range(num_targets)
+        ],
+        dtype=np.int64,
+    )
+    wo = np.zeros((num_targets, num_targets, num_windows), dtype=np.int64)
+    for i in range(num_targets):
+        for j in range(i + 1, num_targets):
+            for m in range(num_windows):
+                bound = int(min(comm[i, m], comm[j, m]))
+                wo[i, j, m] = wo[j, i, m] = draw(st.integers(0, bound))
+    return CrossbarDesignProblem(
+        comm=comm,
+        wo=wo,
+        window_size=CAPACITY,
+        criticality=CriticalityReport(),
+        target_names=tuple(f"t{k}" for k in range(num_targets)),
+    )
+
+
+@st.composite
+def scenario_problems(draw):
+    """2-3 scenarios over one shared platform of 2-4 targets."""
+    num_targets = draw(st.integers(2, 4))
+    count = draw(st.integers(2, 3))
+    return [draw(design_problem(num_targets)) for _ in range(count)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems=scenario_problems())
+def test_union_matrix_dominates_every_scenario_matrix(problems):
+    per_scenario = [build_conflicts(p, CONFIG) for p in problems]
+    union = merge_conflict_analyses(per_scenario, policy="union")
+    for analysis in per_scenario:
+        # wherever a scenario sees a conflict, the union must too
+        assert bool(np.all(union.matrix >= analysis.matrix))
+    # and the union invents nothing: every union pair exists somewhere
+    claimed = set(union.reasons)
+    observed = set().union(*(set(a.reasons) for a in per_scenario))
+    assert claimed == observed
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems=scenario_problems())
+def test_weighted_matrix_is_a_subset_of_union(problems):
+    per_scenario = [build_conflicts(p, CONFIG) for p in problems]
+    union = merge_conflict_analyses(per_scenario, policy="union")
+    weighted = merge_conflict_analyses(
+        per_scenario, policy="weighted", min_weight=0.6
+    )
+    assert bool(np.all(union.matrix >= weighted.matrix))
+    assert set(weighted.reasons) <= set(union.reasons)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems=scenario_problems())
+def test_robust_bus_count_dominates_every_scenario_optimum(problems):
+    per_scenario = [build_conflicts(p, CONFIG) for p in problems]
+    individual = [
+        search_minimum_buses(problem, conflicts, CONFIG).num_buses
+        for problem, conflicts in zip(problems, per_scenario)
+    ]
+    merged = merge_problems(problems, policy="union")
+    union = merge_conflict_analyses(per_scenario, policy="union")
+    robust = search_minimum_buses(merged, union, CONFIG)
+    assert robust.num_buses >= max(individual)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems=scenario_problems())
+def test_robust_witness_replays_clean_on_every_scenario(problems):
+    per_scenario = [build_conflicts(p, CONFIG) for p in problems]
+    merged = merge_problems(problems, policy="union")
+    union = merge_conflict_analyses(per_scenario, policy="union")
+    robust = search_minimum_buses(merged, union, CONFIG)
+    for problem, conflicts in zip(problems, per_scenario):
+        violations = audit_binding(
+            problem, conflicts, robust.feasible_binding, max_targets_per_bus=None
+        )
+        assert violations == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems=scenario_problems())
+def test_worst_case_envelope_dominates_union_conflicts(problems):
+    """The envelope problem's conflicts are a superset of the union:
+    element-wise maxima can only raise overlap/demand past thresholds."""
+    aligned = all(p.num_windows == problems[0].num_windows for p in problems)
+    if not aligned:
+        problems = [problems[0], problems[0]]  # degenerate but well-formed
+    per_scenario = [build_conflicts(p, CONFIG) for p in problems]
+    union = merge_conflict_analyses(per_scenario, policy="union")
+    envelope = build_conflicts(
+        merge_problems(problems, policy="worst-case"), CONFIG
+    )
+    assert bool(np.all(envelope.matrix >= union.matrix))

@@ -161,6 +161,70 @@ class TestCacheSemantics:
         assert first == second
 
 
+class TestBatchExecution:
+    """run_batch: one task per trace (the scenario-suite pattern)."""
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        traces = [
+            synthetic_trace(
+                burst_cycles=300, total_cycles=12_000, num_initiators=5,
+                num_targets=5, seed=seed,
+            )
+            for seed in (7, 8, 9)
+        ]
+        tasks = [SynthesisTask(config=CONFIG, window_size=600) for _ in traces]
+        return list(zip(traces, tasks))
+
+    def test_parallel_matches_serial(self, batch):
+        serial = ExecutionEngine(jobs=1).run_batch(batch)
+        parallel = ExecutionEngine(jobs=2).run_batch(batch)
+        assert serial == parallel
+
+    def test_results_align_with_input_order(self, batch):
+        results = ExecutionEngine(jobs=1).run_batch(batch)
+        for (trace, task), result in zip(batch, results):
+            direct = CrossbarSynthesizer(task.config).design_from_trace(
+                trace, task.window_size
+            )
+            assert result.design == direct.design
+
+    def test_warm_cache_performs_zero_solves(self, batch, tmp_path):
+        cold = ExecutionEngine(jobs=1, cache=tmp_path / "cache")
+        first = cold.run_batch(batch)
+        assert cold.cache.stats.stores == len(batch)
+        warm = ExecutionEngine(jobs=1, cache=tmp_path / "cache")
+        SOLVE_COUNTER.reset()
+        second = warm.run_batch(batch)
+        assert SOLVE_COUNTER.total == 0
+        assert second == first
+
+    def test_duplicate_items_share_one_solve(self, batch):
+        doubled = batch + [batch[0]]
+        SOLVE_COUNTER.reset()
+        results = ExecutionEngine(jobs=1).run_batch(doubled)
+        solves_plain = SOLVE_COUNTER.total
+        SOLVE_COUNTER.reset()
+        ExecutionEngine(jobs=1).run_batch(batch)
+        assert solves_plain == SOLVE_COUNTER.total  # the repeat was free
+        assert results[-1] == results[0]
+
+    def test_application_tags_separate_cache_keys(self, batch, tmp_path):
+        (trace, task) = batch[0]
+        engine = ExecutionEngine(jobs=1, cache=tmp_path / "cache")
+        engine.run_batch([(trace, task)], applications=["scenario:a"])
+        SOLVE_COUNTER.reset()
+        engine.run_batch([(trace, task)], applications=["scenario:b"])
+        assert SOLVE_COUNTER.total > 0  # different tag, different key
+        SOLVE_COUNTER.reset()
+        engine.run_batch([(trace, task)], applications=["scenario:a"])
+        assert SOLVE_COUNTER.total == 0
+
+    def test_tag_length_mismatch_rejected(self, batch):
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(jobs=1).run_batch(batch, applications=["only-one"])
+
+
 class TestEngineConfiguration:
     def test_jobs_zero_means_cpu_count(self):
         assert ExecutionEngine(jobs=0).jobs >= 1

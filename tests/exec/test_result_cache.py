@@ -70,6 +70,32 @@ class TestRobustness:
         assert cache.get(KEY_A) is None
         assert cache.stats.invalid == 1
 
+    def test_binary_garbage_entry_is_a_miss_and_recoverable(self, tmp_path):
+        """A corrupted/truncated entry (here: non-UTF-8 bytes) must be a
+        cache miss that a later put() overwrites, never an error."""
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        (tmp_path / f"{KEY_A}.json").write_bytes(b"\xff\xfe\x00garbage\x9c")
+        assert cache.get(KEY_A) is None
+        assert cache.stats.invalid == 1
+        cache.put(KEY_A, _result(3))
+        assert cache.get(KEY_A).design.it.num_buses == 3
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        """A writer killed mid-write leaves a valid-prefix JSON torso."""
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        path = tmp_path / f"{KEY_A}.json"
+        path.write_text(path.read_text(encoding="utf-8")[:40], encoding="utf-8")
+        assert cache.get(KEY_A) is None
+        assert cache.stats.invalid == 1
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / f"{KEY_A}.json").write_text("[1, 2, 3]", encoding="utf-8")
+        assert cache.get(KEY_A) is None
+        assert cache.stats.invalid == 1
+
     def test_stale_format_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         (tmp_path / f"{KEY_A}.json").write_text(

@@ -1,0 +1,176 @@
+"""Scenario/suite model: validation, trace building, JSON round-trip."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    SUITES,
+    Scenario,
+    ScenarioSuite,
+    build_suite,
+    load_suite,
+    save_suite,
+    suite_from_dict,
+    suite_to_dict,
+)
+
+SMALL = {"num_initiators": 4, "num_targets": 4, "total_cycles": 8_000}
+
+
+def small_scenario(name="s0", **overrides):
+    fields = dict(
+        name=name,
+        source="profile:poisson",
+        params={**SMALL, "rate": 0.004, "seed": 9},
+        window_size=500,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestScenarioValidation:
+    def test_source_must_be_tagged(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", source="poisson")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", source="profile:quantum")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="", source="profile:burst")
+
+    def test_non_positive_load_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_scenario(load_scale=0.0)
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_scenario(weight=-1.0)
+
+    def test_bad_profile_params_name_the_scenario(self):
+        scenario = Scenario(
+            name="broken", source="profile:burst", params={"no_such": 1}
+        )
+        with pytest.raises(ConfigurationError, match="broken"):
+            scenario.build_trace()
+
+    def test_source_accessors(self):
+        scenario = small_scenario()
+        assert scenario.source_kind == "profile"
+        assert scenario.source_name == "poisson"
+
+
+class TestTraceBuilding:
+    def test_deterministic_across_calls(self):
+        first = small_scenario().build_trace()
+        second = small_scenario().build_trace()
+        assert first.records == second.records
+
+    def test_immune_to_global_rng_state(self):
+        first = small_scenario().build_trace()
+        random.seed(0xDEAD)
+        second = small_scenario().build_trace()
+        assert first.records == second.records
+
+    def test_load_scale_increases_profile_traffic(self):
+        light = small_scenario(load_scale=0.5).build_trace()
+        heavy = small_scenario(load_scale=2.0).build_trace()
+        assert len(heavy) > len(light)
+
+    def test_critical_targets_forwarded(self):
+        scenario = small_scenario(critical_targets=(1,))
+        trace = scenario.build_trace()
+        assert trace.critical_targets() == [1]
+
+    def test_app_scenario_builds_platform_trace(self):
+        trace = Scenario(name="app", source="app:qsort").build_trace()
+        assert len(trace) > 0
+
+    def test_app_upscaling_rejected(self):
+        scenario = Scenario(name="app", source="app:qsort", load_scale=2.0)
+        with pytest.raises(ConfigurationError):
+            scenario.build_trace()
+
+    def test_app_thinning_reduces_packets(self):
+        full = Scenario(name="full", source="app:qsort").build_trace()
+        thin = Scenario(
+            name="thin", source="app:qsort", load_scale=0.5
+        ).build_trace()
+        assert 0 < len(thin) < len(full)
+
+    def test_effective_window_clamps_to_trace(self):
+        scenario = small_scenario(window_size=1_000_000)
+        trace = scenario.build_trace()
+        assert scenario.effective_window(trace) == trace.total_cycles
+
+    def test_app_effective_window_honors_scenario_params(self):
+        """The default analysis window must come from the *parameterized*
+        application build (a custom burst length changes it), not the
+        stock build."""
+        scenario = Scenario(
+            name="big-bursts",
+            source="app:synthetic",
+            params={"burst_cycles": 2_000, "total_cycles": 40_000},
+        )
+        trace = scenario.build_trace()
+        assert scenario.effective_window(trace) == 4_000  # burst * 2
+
+
+class TestSuite:
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite(
+                name="dup",
+                scenarios=(small_scenario("a"), small_scenario("a")),
+            )
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite(name="empty", scenarios=())
+
+    def test_weights_in_order(self):
+        suite = ScenarioSuite(
+            name="w",
+            scenarios=(
+                small_scenario("a", weight=2.0),
+                small_scenario("b", weight=5.0),
+            ),
+        )
+        assert suite.weights == (2.0, 5.0)
+
+
+class TestJsonRoundTrip:
+    def test_suite_round_trips_through_dict(self):
+        for name in sorted(SUITES):
+            suite = build_suite(name)
+            assert suite_from_dict(suite_to_dict(suite)) == suite
+
+    def test_suite_round_trips_through_file(self, tmp_path):
+        suite = build_suite("smoke")
+        path = tmp_path / "suite.json"
+        save_suite(suite, path)
+        assert load_suite(path) == suite
+
+    def test_reloaded_suite_builds_identical_traces(self, tmp_path):
+        suite = build_suite("smoke")
+        path = tmp_path / "suite.json"
+        save_suite(suite, path)
+        reloaded = load_suite(path)
+        for original, loaded in zip(suite, reloaded):
+            assert original.build_trace().records == loaded.build_trace().records
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            suite_from_dict({"format": "nope", "name": "x", "scenarios": []})
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_suite(tmp_path / "absent.json")
+
+    def test_unknown_builtin_suite_rejected(self):
+        with pytest.raises(ConfigurationError, match="smoke"):
+            build_suite("galactic")

@@ -77,6 +77,70 @@ class TestCommands:
             assert label in out
 
 
+class TestScenarios:
+    def test_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "mixed", "loadramp", "apps"):
+            assert name in out
+
+    def test_run_smoke_suite(self, capsys):
+        assert main(["scenarios", "run", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "robust crossbar over 4 scenarios" in out
+        assert "replay violations: 0" in out
+        assert "pareto" in out
+
+    def test_run_writes_json_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["scenarios", "run", "smoke", "--report", str(report_path)]
+        ) == 0
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-scenario-report-v1"
+        assert payload["robust"]["total_violations"] == 0
+        assert len(payload["scenarios"]) == 4
+
+    def test_run_parallel_cached_matches_serial(self, tmp_path, capsys):
+        def report_lines(text):
+            # Drop the run banner (prints the job count) and cache stats.
+            return [
+                line for line in text.splitlines()
+                if not line.startswith(("running scenario suite", "cache:"))
+            ]
+
+        argv = ["scenarios", "run", "smoke"]
+        assert main(argv) == 0
+        serial = report_lines(capsys.readouterr().out)
+        cache = str(tmp_path / "cache")
+        assert main(argv + ["--jobs", "2", "--cache-dir", cache]) == 0
+        cold = report_lines(capsys.readouterr().out)
+        assert main(argv + ["--jobs", "2", "--cache-dir", cache]) == 0
+        warm = report_lines(capsys.readouterr().out)
+        assert serial == cold == warm
+
+    def test_export_then_run_from_file(self, tmp_path, capsys):
+        suite_path = tmp_path / "suite.json"
+        assert main(["scenarios", "export", "smoke", "-o", str(suite_path)]) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "run", str(suite_path)]) == 0
+        out = capsys.readouterr().out
+        assert "robust crossbar over 4 scenarios" in out
+
+    def test_weighted_policy_flag(self, capsys):
+        assert main(
+            ["scenarios", "run", "smoke", "--policy", "weighted",
+             "--min-weight", "0.6"]
+        ) == 0
+        assert "policy=weighted" in capsys.readouterr().out
+
+    def test_unknown_suite_fails_cleanly(self, capsys):
+        assert main(["scenarios", "run", "atlantis"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestEngineOptions:
     def test_engine_defaults(self):
         args = build_parser().parse_args(["design", "mat2"])

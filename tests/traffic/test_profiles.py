@@ -1,0 +1,200 @@
+"""Extended workload profiles: shapes, determinism, load scaling."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    HotspotTrafficConfig,
+    PipelineTrafficConfig,
+    PoissonTrafficConfig,
+    WindowedTraffic,
+    generate_hotspot_trace,
+    generate_pipeline_trace,
+    generate_poisson_trace,
+    scaled_config,
+    thin_trace,
+)
+
+SMALL = {"num_initiators": 4, "num_targets": 4, "total_cycles": 10_000}
+
+GENERATORS = [
+    (HotspotTrafficConfig, generate_hotspot_trace),
+    (PoissonTrafficConfig, generate_poisson_trace),
+    (PipelineTrafficConfig, generate_pipeline_trace),
+]
+
+
+@pytest.mark.parametrize("config_cls,generate", GENERATORS)
+class TestCommonProperties:
+    def test_records_fit_the_simulation_period(self, config_cls, generate):
+        trace = generate(config_cls(**SMALL))
+        assert len(trace) > 0
+        assert all(rec.complete <= trace.total_cycles for rec in trace.records)
+
+    def test_deterministic_given_seed(self, config_cls, generate):
+        first = generate(config_cls(**SMALL, seed=5))
+        second = generate(config_cls(**SMALL, seed=5))
+        assert first.records == second.records
+
+    def test_different_seeds_differ(self, config_cls, generate):
+        a = generate(config_cls(**SMALL, seed=1))
+        b = generate(config_cls(**SMALL, seed=2))
+        assert a.records != b.records
+
+    def test_immune_to_global_rng_state(self, config_cls, generate):
+        first = generate(config_cls(**SMALL, seed=5))
+        random.seed(0xBEEF)
+        second = generate(config_cls(**SMALL, seed=5))
+        assert first.records == second.records
+
+    def test_flows_through_windowing(self, config_cls, generate):
+        trace = generate(config_cls(**SMALL))
+        windowed = WindowedTraffic(trace, window_size=500)
+        assert windowed.comm.sum() > 0
+
+    def test_critical_targets_flagged(self, config_cls, generate):
+        trace = generate(config_cls(**SMALL, critical_targets=(1,)))
+        assert trace.critical_targets() == [1]
+
+
+class TestHotspot:
+    def test_hotspot_targets_receive_extra_traffic(self):
+        config = HotspotTrafficConfig(
+            **SMALL, hotspot_targets=(0,), hotspot_fraction=0.8, seed=3
+        )
+        trace = generate_hotspot_trace(config)
+        per_target = [len(trace.records_to_target(t)) for t in range(4)]
+        assert per_target[0] > max(per_target[1:])
+
+    def test_fraction_zero_is_private_traffic_only(self):
+        config = HotspotTrafficConfig(
+            **SMALL, hotspot_targets=(0,), hotspot_fraction=0.0, seed=3
+        )
+        trace = generate_hotspot_trace(config)
+        assert all(rec.target == rec.initiator % 4 for rec in trace.records)
+
+    def test_out_of_range_hotspot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotspotTrafficConfig(**SMALL, hotspot_targets=(9,)).validate()
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotspotTrafficConfig(**SMALL, hotspot_fraction=1.5).validate()
+
+
+class TestPoisson:
+    def test_rate_scales_traffic_volume(self):
+        low = generate_poisson_trace(PoissonTrafficConfig(**SMALL, rate=0.001))
+        high = generate_poisson_trace(PoissonTrafficConfig(**SMALL, rate=0.01))
+        assert len(high) > len(low)
+
+    def test_packets_never_overlap_per_initiator(self):
+        trace = generate_poisson_trace(
+            PoissonTrafficConfig(**SMALL, rate=0.05, seed=2)
+        )
+        for initiator in range(4):
+            records = trace.records_from_initiator(initiator)
+            for before, after in zip(records, records[1:]):
+                assert after.issue >= before.it_release
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonTrafficConfig(**SMALL, rate=0.0).validate()
+
+
+class TestPipeline:
+    def test_stages_write_to_successor_memory(self):
+        trace = generate_pipeline_trace(PipelineTrafficConfig(**SMALL))
+        assert all(
+            rec.target == (rec.initiator + 1) % 4 for rec in trace.records
+        )
+
+    def test_later_stages_start_later_in_the_frame(self):
+        config = PipelineTrafficConfig(**SMALL, slot_jitter=0, stage_lag=500)
+        trace = generate_pipeline_trace(config)
+        starts = {
+            initiator: trace.records_from_initiator(initiator)[0].issue
+            for initiator in range(config.num_initiators)
+            if trace.records_from_initiator(initiator)
+        }
+        assert starts[1] - starts[0] == 500
+
+    def test_frame_shorter_than_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineTrafficConfig(
+                num_initiators=2, num_targets=2, total_cycles=100,
+                frame_cycles=5_000,
+            ).validate()
+
+    def test_slot_overflowing_its_frame_rejected(self):
+        """A slot longer than the frame would make one initiator emit
+        time-overlapping packets (impossible traffic)."""
+        with pytest.raises(ConfigurationError):
+            PipelineTrafficConfig(
+                **SMALL, frame_cycles=1_000, slot_cycles=1_500
+            ).validate()
+        with pytest.raises(ConfigurationError):
+            PipelineTrafficConfig(
+                **SMALL, frame_cycles=1_000, slot_cycles=950, slot_jitter=100
+            ).validate()
+
+    def test_no_initiator_overlaps_itself(self):
+        trace = generate_pipeline_trace(PipelineTrafficConfig(**SMALL))
+        for initiator in range(4):
+            records = trace.records_from_initiator(initiator)
+            for before, after in zip(records, records[1:]):
+                assert after.issue >= before.it_release
+
+
+class TestLoadScaling:
+    def test_scale_one_is_identity(self):
+        config = PoissonTrafficConfig(**SMALL)
+        assert scaled_config(config, 1.0) is config
+
+    @pytest.mark.parametrize("config_cls,generate", GENERATORS)
+    def test_higher_scale_means_more_packets(self, config_cls, generate):
+        config = config_cls(**SMALL)
+        light = generate(scaled_config(config, 0.5))
+        heavy = generate(scaled_config(config, 2.0))
+        assert len(heavy) > len(light)
+
+    def test_pipeline_scaling_saturates_at_the_frame(self):
+        """Slots grow until they (plus jitter) fill the frame; the
+        scaled config must always remain valid."""
+        config = PipelineTrafficConfig(**SMALL, frame_cycles=4_000,
+                                       slot_cycles=1_500, slot_jitter=64)
+        saturated = scaled_config(config, 100.0)
+        saturated.validate()
+        assert saturated.slot_cycles == 4_000 - 64
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaled_config(PoissonTrafficConfig(**SMALL), 0.0)
+
+    def test_unknown_config_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaled_config(object(), 2.0)
+
+
+class TestThinTrace:
+    def test_keeps_roughly_the_requested_fraction(self):
+        trace = generate_poisson_trace(PoissonTrafficConfig(**SMALL, rate=0.02))
+        thinned = thin_trace(trace, 0.5, seed=1)
+        assert 0.3 * len(trace) < len(thinned) < 0.7 * len(trace)
+
+    def test_deterministic(self):
+        trace = generate_poisson_trace(PoissonTrafficConfig(**SMALL))
+        assert thin_trace(trace, 0.5, seed=3).records == (
+            thin_trace(trace, 0.5, seed=3).records
+        )
+
+    def test_full_fraction_returns_same_trace(self):
+        trace = generate_poisson_trace(PoissonTrafficConfig(**SMALL))
+        assert thin_trace(trace, 1.0) is trace
+
+    def test_bad_fraction_rejected(self):
+        trace = generate_poisson_trace(PoissonTrafficConfig(**SMALL))
+        with pytest.raises(ConfigurationError):
+            thin_trace(trace, 0.0)

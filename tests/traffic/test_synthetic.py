@@ -1,5 +1,7 @@
 """Unit tests for the synthetic burst-traffic generator."""
 
+import random
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -60,6 +62,26 @@ class TestGeneration:
         assert generate_synthetic_trace(base).records != generate_synthetic_trace(
             other
         ).records
+
+    def test_immune_to_global_rng_state(self):
+        """Generation draws only from the config-seeded RNG instance;
+        reseeding (or consuming) the interpreter-global random module
+        between runs must not change the trace -- scenario fingerprints
+        and the exec cache depend on this."""
+        config = SyntheticTrafficConfig(total_cycles=20_000, seed=7)
+        first = generate_synthetic_trace(config)
+        random.seed(0xC0FFEE)
+        random.random()
+        second = generate_synthetic_trace(config)
+        assert first.records == second.records
+
+    def test_injected_rng_overrides_config_seed(self):
+        config = SyntheticTrafficConfig(total_cycles=20_000, seed=7)
+        default = generate_synthetic_trace(config)
+        same = generate_synthetic_trace(config, rng=random.Random(7))
+        other = generate_synthetic_trace(config, rng=random.Random(8))
+        assert default.records == same.records
+        assert default.records != other.records
 
     def test_platform_shape(self):
         trace = generate_synthetic_trace(

@@ -1,0 +1,90 @@
+"""Incremental suite re-synthesis bench: cold run vs one-edit warm rerun.
+
+The cold phase runs the smoke suite end to end on a fresh
+:class:`ScenarioSuiteRunner`. One scenario's generator seed is then
+edited and the *same* runner re-runs the suite -- the timed kernel. The
+staged pipeline serves every unchanged scenario's stages (trace build,
+windowing, conflicts, individual solve) from its artifact store, so the
+warm rerun re-executes only the edited scenario plus the suite-level
+merge solve.
+
+This bench doubles as the CI gate for the incremental path: it asserts
+the warm rerun performs *strictly fewer* solver invocations than the
+cold run and still produces a report byte-identical to a cold run of
+the edited suite.
+"""
+
+import json
+import time
+
+from repro.core import SOLVE_COUNTER
+from repro.scenarios import (
+    Scenario,
+    ScenarioSuite,
+    ScenarioSuiteRunner,
+    build_suite,
+)
+
+from _bench_utils import emit
+
+
+def _edit_one_scenario(suite: ScenarioSuite) -> ScenarioSuite:
+    """The suite with one scenario's generator seed changed."""
+    scenarios = list(suite.scenarios)
+    payload = scenarios[1].to_dict()
+    payload["params"] = {**payload["params"], "seed": 97}
+    scenarios[1] = Scenario.from_dict(payload)
+    return ScenarioSuite(
+        name=suite.name, scenarios=tuple(scenarios),
+        description=suite.description,
+    )
+
+
+def test_incremental_suite_edit(benchmark, results_dir):
+    suite = build_suite("smoke")
+    edited = _edit_one_scenario(suite)
+    runner = ScenarioSuiteRunner()
+
+    SOLVE_COUNTER.reset()
+    cold_begin = time.perf_counter()
+    runner.run(suite)
+    cold_seconds = time.perf_counter() - cold_begin
+    cold_solves = SOLVE_COUNTER.total
+
+    SOLVE_COUNTER.reset()
+    warm_report = benchmark.pedantic(
+        lambda: runner.run(edited), rounds=1, iterations=1
+    )
+    warm_solves = SOLVE_COUNTER.total
+
+    # CI gate: the warm rerun must re-solve strictly less than cold.
+    assert 0 < warm_solves < cold_solves
+
+    # ... while staying byte-identical to a cold run of the edited suite.
+    reference = ScenarioSuiteRunner().run(edited)
+    warm_bytes = json.dumps(warm_report.to_dict(), sort_keys=True)
+    assert warm_bytes == json.dumps(reference.to_dict(), sort_keys=True)
+
+    warm_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["cold_solves"] = cold_solves
+    benchmark.extra_info["warm_solves"] = warm_solves
+    benchmark.extra_info["warm_vs_cold_speedup"] = (
+        round(cold_seconds / warm_seconds, 2) if warm_seconds else None
+    )
+
+    breakdown = runner.explain_cache()
+    emit(
+        results_dir,
+        "incremental_suite",
+        "\n".join(
+            [
+                "incremental suite re-synthesis (smoke, one scenario edited)",
+                f"  cold run : {cold_solves} solves, {cold_seconds:.3f}s",
+                f"  warm run : {warm_solves} solves, {warm_seconds:.3f}s",
+                "",
+                "warm-run stage breakdown:",
+                breakdown,
+            ]
+        ),
+    )

@@ -39,6 +39,7 @@ from repro.exec import (
     SynthesisTask,
 )
 from repro.core.multi import RobustSynthesisReport, RobustSynthesizer
+from repro.pipeline import ArtifactStore, PipelineRunner
 from repro.platform import SimulationResult, SoC, SoCConfig, TimingModel
 from repro.scenarios import (
     Scenario,
@@ -95,6 +96,9 @@ __all__ = [
     "ResultCache",
     "SynthesisResult",
     "SynthesisTask",
+    # staged pipeline
+    "PipelineRunner",
+    "ArtifactStore",
     # scenarios
     "Scenario",
     "ScenarioSuite",

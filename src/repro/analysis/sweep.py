@@ -12,18 +12,19 @@ Three drivers:
   roughly linearly with the burst size.
 
 Every sweep point is an independent synthesis run, so all three drivers
-route through the :class:`~repro.exec.engine.ExecutionEngine`: pass
-``engine=ExecutionEngine(jobs=8, cache="...")`` to fan points out over
-worker processes and/or skip already-solved points. Results are
+are thin: they enumerate :class:`~repro.exec.engine.SynthesisTask`
+points and hand them to the :class:`~repro.exec.engine.ExecutionEngine`,
+which solves each through the staged pipeline (:mod:`repro.pipeline`).
+Pass ``engine=ExecutionEngine(jobs=8, cache="...")`` to fan points out
+over worker processes and/or skip already-solved points. Results are
 deterministic -- identical point lists whatever the job count.
 
-Sweep points additionally share all per-trace analytics state: the
-engine warms the columnar kernel compilation
+The pipeline is what makes sweeps cheap beyond caching: every point of
+a sweep shares the trace's *collection* artifact, a threshold sweep's
+points share the *windowing* artifacts outright (only conflicts and the
+solve re-run per threshold), and the columnar kernel compilation
 (:func:`repro.traffic.kernels.warm_analytics`, covering the mirrored
-trace for the TI side) before solving, so a ten-point window sweep
-compiles the trace once -- not ten times -- and a threshold sweep, whose
-points share one window geometry, additionally reuses the ``comm``/``wo``
-tensors themselves across points.
+trace for the TI side) is warmed once per sweep, not once per point.
 """
 
 from __future__ import annotations
@@ -44,6 +45,26 @@ __all__ = [
     "overlap_threshold_sweep",
     "acceptable_window_search",
 ]
+
+
+def _window_tasks(
+    trace: TrafficTrace, windows: Sequence[int], base: SynthesisConfig
+) -> List[SynthesisTask]:
+    """One task per window, clamped to the trace length.
+
+    Clamping happens *before* task construction so equal effective
+    windows collapse to one pipeline point (and one cache entry).
+    """
+    tasks = []
+    for window in windows:
+        effective = min(window, trace.total_cycles)
+        tasks.append(
+            SynthesisTask(
+                config=replace(base, window_size=effective),
+                window_size=effective,
+            )
+        )
+    return tasks
 
 
 @dataclass(frozen=True)
@@ -70,16 +91,7 @@ def window_size_sweep(
     engine: Optional[ExecutionEngine] = None,
 ) -> List[SweepPoint]:
     """Design the crossbar for each window size (Fig. 5(a))."""
-    base = config or SynthesisConfig()
-    tasks = []
-    for window in window_sizes:
-        effective = min(window, trace.total_cycles)
-        tasks.append(
-            SynthesisTask(
-                config=replace(base, window_size=effective),
-                window_size=effective,
-            )
-        )
+    tasks = _window_tasks(trace, window_sizes, config or SynthesisConfig())
     results = _resolve_engine(engine).run_sweep(trace, tasks)
     return [
         SweepPoint(
@@ -159,13 +171,7 @@ def acceptable_window_search(
     budget = application.sim_cycles * 6
 
     ordered = sorted(candidate_windows)
-    tasks = [
-        SynthesisTask(
-            config=replace(base, window_size=min(w, trace.total_cycles)),
-            window_size=min(w, trace.total_cycles),
-        )
-        for w in ordered
-    ]
+    tasks = _window_tasks(trace, ordered, base)
     digest = trace_fingerprint(trace) if run.cache is not None else None
     if run.jobs > 1:
         results = run.run_sweep(

@@ -9,7 +9,11 @@ The CLI wraps the library's main entry points for quick exploration::
     python -m repro sweep-window --burst 1000 --jobs 4 --cache-dir .cache
     python -m repro scenarios list
     python -m repro scenarios run smoke --jobs 4 --report suite.json
+    python -m repro scenarios run smoke --replay-latency --explain-cache
     python -m repro scenarios export mixed -o mixed.json
+    python -m repro pipeline inspect mat2 --cache-dir .cache
+    python -m repro cache stats .cache
+    python -m repro cache prune .cache --max-bytes 1000000
 
 All commands print plain-text tables (see :mod:`repro.analysis.report`).
 Commands that solve or simulate independent points accept ``--jobs``
@@ -196,12 +200,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, metavar="FILE",
         help="also write the aggregated report as JSON",
     )
+    run.add_argument(
+        "--replay-latency", action="store_true",
+        help="also replay the robust design through the platform "
+        "simulator for app-backed scenarios and report average latency",
+    )
+    run.add_argument(
+        "--explain-cache", action="store_true",
+        help="print the per-stage computed/memo-hit/disk-hit breakdown "
+        "of the staged pipeline after the run",
+    )
     _add_engine_options(run)
     export = scenarios_sub.add_parser(
         "export", help="write a built-in suite as an editable JSON file"
     )
     export.add_argument("suite", help="built-in suite name")
     export.add_argument("-o", "--output", required=True, help="output path")
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="the staged synthesis flow: inspect stage artifacts",
+    )
+    pipeline_sub = pipeline.add_subparsers(dest="pipeline_command",
+                                           required=True)
+    inspect = pipeline_sub.add_parser(
+        "inspect",
+        help="run the staged flow on an application and print every "
+        "stage artifact with its content-addressed fingerprint",
+    )
+    inspect.add_argument("app", help="application name (see 'list')")
+    inspect.add_argument(
+        "--window", type=int, default=None,
+        help="analysis window in cycles (default: app-specific)",
+    )
+    inspect.add_argument(
+        "--threshold", type=float, default=0.3,
+        help="overlap threshold as a fraction of the window (0..0.5)",
+    )
+    inspect.add_argument(
+        "--maxtb", type=int, default=4,
+        help="max targets per bus (0 disables the limit)",
+    )
+    inspect.add_argument(
+        "--backend", choices=("assignment", "milp"), default="assignment",
+        help="feasibility/binding solver backend",
+    )
+    inspect.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist serializable stage artifacts here; a repeated "
+        "inspect reuses the solved binding stages",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="maintain a result/stage cache directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count and on-disk bytes of a cache directory"
+    )
+    cache_stats.add_argument("cache_dir", metavar="DIR")
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used entries down to a byte budget",
+    )
+    cache_prune.add_argument("cache_dir", metavar="DIR")
+    cache_prune.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="keep evicting oldest-used entries until the cache fits N bytes",
+    )
     return parser
 
 
@@ -403,9 +469,14 @@ def _cmd_scenarios_run(args) -> int:
         config=config,
         policy=args.policy,
         min_weight=args.min_weight,
+        replay_latency=args.replay_latency,
     )
     report = runner.run(suite)
     print(report.summary())
+    if args.explain_cache:
+        print()
+        print("staged-pipeline cache breakdown:")
+        print(runner.explain_cache())
     if args.report:
         import json
 
@@ -426,6 +497,62 @@ def _cmd_scenarios_export(args) -> int:
     save_suite(suite, args.output)
     print(f"wrote suite '{suite.name}' ({len(suite)} scenarios) to {args.output}")
     return 0
+
+
+def _cmd_pipeline_inspect(args) -> int:
+    from repro.exec.cache import ResultCache
+    from repro.pipeline import ArtifactStore, PipelineRunner, describe_stages
+
+    app = build_application(args.app)
+    config = _config_from_args(args)
+    disk = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = PipelineRunner(store=ArtifactStore(disk=disk))
+    window = args.window or app.default_window
+    print(
+        f"running the staged flow for {app.name} "
+        f"(window {window}, threshold {config.overlap_threshold:.0%}) ..."
+    )
+    trace = app.simulate_full_crossbar().trace
+    outcome = runner.design(trace, config, window, label=app.name)
+    rows = [
+        [stage, fingerprint[:12], summary]
+        for stage, fingerprint, summary in describe_stages(outcome)
+    ]
+    print(
+        format_table(
+            ["stage", "fingerprint", "artifact"],
+            rows,
+            title=f"stage artifacts for {app.name}",
+        )
+    )
+    print()
+    print(runner.counters.breakdown())
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    if args.pipeline_command == "inspect":
+        return _cmd_pipeline_inspect(args)
+    raise AssertionError(
+        f"unhandled pipeline command {args.pipeline_command!r}"
+    )
+
+
+def _cmd_cache(args) -> int:
+    from repro.exec.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        print(f"cache {cache.cache_dir}: {cache.usage()}")
+        return 0
+    if args.cache_command == "prune":
+        removed = cache.prune(args.max_bytes)
+        print(
+            f"pruned {removed} entries; cache {cache.cache_dir} now holds "
+            f"{cache.usage()}"
+        )
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _cmd_scenarios(args) -> int:
@@ -454,6 +581,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep_window(args)
         if args.command == "scenarios":
             return _cmd_scenarios(args)
+        if args.command == "pipeline":
+            return _cmd_pipeline(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

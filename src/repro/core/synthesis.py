@@ -12,6 +12,14 @@ an application:
 The target->initiator crossbar is designed by running the identical
 pipeline on the mirrored trace (responses to initiators), per the
 paper's "designed in a similar fashion".
+
+Since the staged-pipeline refactor the synthesizer is a thin driver
+over :class:`repro.pipeline.PipelineRunner`: each phase is a pipeline
+stage with a content-addressed artifact, so repeated designs over the
+same trace (sweeps, suite replays) share the collection/windowing/
+conflict artifacts instead of recomputing them. Outputs are unchanged
+-- a :class:`SynthesisReport` is assembled from the stage artifacts
+exactly as the monolithic flow produced it.
 """
 
 from __future__ import annotations
@@ -20,14 +28,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.apps.descriptor import Application
-from repro.core.binding import optimize_binding
-from repro.core.preprocess import ConflictAnalysis, build_conflicts
+from repro.core.preprocess import ConflictAnalysis
 from repro.core.problem import CrossbarDesignProblem
-from repro.core.search import SearchOutcome, search_minimum_buses
+from repro.core.search import SearchOutcome
 from repro.core.spec import BusBinding, CrossbarDesign, SynthesisConfig
-from repro.core.validate import audit_binding
 from repro.platform.soc import SimulationResult
-from repro.profiling import track_phase
 from repro.traffic.trace import TrafficTrace
 
 __all__ = ["SideReport", "SynthesisReport", "CrossbarSynthesizer"]
@@ -78,6 +83,16 @@ class SynthesisReport:
         return "\n".join(lines)
 
 
+def _side_report(side) -> SideReport:
+    """Assemble the classic per-side diagnostics from stage artifacts."""
+    return SideReport(
+        problem=side.windowed.problem,
+        conflicts=side.conflicts.conflicts,
+        search=side.binding.search,
+        binding=side.binding.binding,
+    )
+
+
 class CrossbarSynthesizer:
     """The paper's design methodology, bundled behind one entry point.
 
@@ -92,8 +107,20 @@ class CrossbarSynthesizer:
     6
     """
 
-    def __init__(self, config: Optional[SynthesisConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SynthesisConfig] = None,
+        pipeline=None,
+    ) -> None:
         self.config = config or SynthesisConfig()
+        # The pipeline import is deferred: repro.pipeline depends on the
+        # core solver modules, so importing it at module scope here
+        # would be circular.
+        if pipeline is None:
+            from repro.pipeline.runner import shared_runner
+
+            pipeline = shared_runner()
+        self.pipeline = pipeline
 
     def design(
         self,
@@ -121,51 +148,13 @@ class CrossbarSynthesizer:
         need not line up with request phases.
         """
         window = window_size or self.config.window_size or 1_000
-        it_report = self._design_side(self._problem_for(trace, window))
-        ti_report = self._design_side(
-            self._problem_for(trace.mirrored(), window)
-        )
-        design = CrossbarDesign(
-            it=it_report.binding, ti=ti_report.binding, label="windowed"
-        )
+        outcome = self.pipeline.design(trace, self.config, window)
         return SynthesisReport(
-            design=design,
-            it_report=it_report,
-            ti_report=ti_report,
+            design=outcome.design,
+            it_report=_side_report(outcome.it),
+            ti_report=_side_report(outcome.ti),
             trace=trace,
             config=self.config,
-        )
-
-    def _problem_for(
-        self, trace: TrafficTrace, window: int
-    ) -> CrossbarDesignProblem:
-        if not self.config.variable_windows:
-            return CrossbarDesignProblem.from_trace(trace, window)
-        from repro.traffic.qos import phase_aligned_boundaries
-
-        boundaries = phase_aligned_boundaries(
-            trace,
-            min_window=max(1, window // self.config.variable_window_ratio),
-            max_window=window,
-        )
-        return CrossbarDesignProblem.from_trace_boundaries(trace, boundaries)
-
-    def _design_side(self, problem: CrossbarDesignProblem) -> SideReport:
-        conflicts = build_conflicts(problem, self.config)
-        with track_phase("solve"):
-            search = search_minimum_buses(problem, conflicts, self.config)
-            binding = optimize_binding(
-                problem, conflicts, search.num_buses, self.config
-            )
-            audit_binding(
-                problem,
-                conflicts,
-                binding.binding,
-                self.config.max_targets_per_bus,
-                raise_on_violation=True,
-            )
-        return SideReport(
-            problem=problem, conflicts=conflicts, search=search, binding=binding
         )
 
     def validate(

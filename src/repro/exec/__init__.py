@@ -15,8 +15,13 @@ everything loops into cached, parallel executions:
   report layer.
 """
 
-from repro.exec.cache import CacheStats, ResultCache
-from repro.exec.engine import EvaluationOutcome, ExecutionEngine, SynthesisTask
+from repro.exec.cache import CacheStats, CacheUsage, ResultCache
+from repro.exec.engine import (
+    EvaluationOutcome,
+    ExecutionEngine,
+    StaleWorkerTraceError,
+    SynthesisTask,
+)
 from repro.exec.fingerprint import (
     CACHE_SCHEMA_VERSION,
     config_fingerprint,
@@ -35,6 +40,8 @@ __all__ = [
     "EvaluationOutcome",
     "ResultCache",
     "CacheStats",
+    "CacheUsage",
+    "StaleWorkerTraceError",
     "SynthesisResult",
     "result_to_dict",
     "result_from_dict",

@@ -1,11 +1,21 @@
 """Content-addressed on-disk result cache.
 
-Each solved synthesis point is stored as ``<key>.json`` under the cache
-directory, where ``key`` is the :func:`~repro.exec.fingerprint.task_key`
-of (trace fingerprint, configuration, window). Writes are atomic
-(temp file + ``os.replace``) so concurrent sweeps sharing a cache
-directory never observe torn entries; corrupt or stale-format entries
-are treated as misses and rewritten.
+Each entry is stored as ``<key>.json`` under the cache directory. Two
+entry families share the directory:
+
+* **whole-result entries** (:meth:`ResultCache.get` / ``put``) -- one
+  solved synthesis point per entry, keyed by
+  :func:`~repro.exec.fingerprint.task_key`;
+* **per-stage entries** (:meth:`ResultCache.get_json` / ``put_json``) --
+  generic JSON payloads keyed by pipeline stage fingerprints (see
+  :mod:`repro.pipeline.store`), so intermediate artifacts persist at
+  stage granularity, not only end to end.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweeps
+sharing a cache directory never observe torn entries; corrupt or
+stale-format entries are treated as misses and rewritten. Hits touch
+the entry's mtime, making :meth:`ResultCache.prune` a true
+least-recently-used eviction.
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.errors import ReproError
 from repro.exec.serialize import (
@@ -24,7 +34,7 @@ from repro.exec.serialize import (
     result_to_dict,
 )
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheStats", "CacheUsage", "ResultCache"]
 
 
 @dataclass
@@ -45,6 +55,17 @@ class CacheStats:
             f"{self.hits}/{self.lookups} hits, {self.stores} stores, "
             f"{self.invalid} invalid entries"
         )
+
+
+@dataclass(frozen=True)
+class CacheUsage:
+    """On-disk footprint of one cache directory."""
+
+    entries: int
+    total_bytes: int
+
+    def __str__(self) -> str:
+        return f"{self.entries} entries, {self.total_bytes} bytes"
 
 
 class ResultCache:
@@ -69,17 +90,32 @@ class ResultCache:
             raise ReproError(f"invalid cache key {key!r}")
         return self.cache_dir / f"{key}.json"
 
+    def _load(self, key: str) -> Dict[str, Any]:
+        """Raw payload for ``key``; raises on any unreadable entry."""
+        path = self._path(key)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError(f"cache entry {key!r} is not a JSON object")
+        return payload
+
+    def _touch(self, key: str) -> None:
+        """Refresh the entry's mtime so :meth:`prune` evicts true LRU."""
+        try:
+            os.utime(self._path(key))
+        except OSError:  # pragma: no cover - best-effort bookkeeping
+            pass
+
     def get(self, key: str) -> Optional[SynthesisResult]:
         """The cached result for ``key``, or ``None`` on a miss.
 
         Unreadable or format-incompatible entries count as misses (and
         are reported in :attr:`stats`), never as errors: a cache must
-        degrade to recomputation.
+        degrade to recomputation. Malformed *keys* are still errors --
+        they indicate a caller bug, not a degraded cache.
         """
-        path = self._path(key)
+        self._path(key)  # reject malformed keys before the miss handling
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            result = result_from_dict(payload)
+            result = result_from_dict(self._load(key))
         except FileNotFoundError:
             self.stats.misses += 1
             return None
@@ -92,19 +128,45 @@ class ResultCache:
             self.stats.invalid += 1
             return None
         self.stats.hits += 1
+        self._touch(key)
         return result
+
+    def get_json(self, key: str) -> Optional[Dict[str, Any]]:
+        """A generic JSON entry for ``key``, or ``None`` on a miss.
+
+        Format validation is the caller's job (per-stage entries carry
+        their own ``format`` field); unreadable entries degrade to
+        misses exactly as whole-result entries do.
+        """
+        self._path(key)  # reject malformed keys before the miss handling
+        try:
+            payload = self._load(key)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            self.stats.invalid += 1
+            return None
+        self.stats.hits += 1
+        self._touch(key)
+        return payload
 
     def put(self, key: str, result: SynthesisResult) -> None:
         """Store ``result`` under ``key`` atomically."""
+        self.put_json(key, result_to_dict(result))
+
+    def put_json(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store a generic JSON entry under ``key`` atomically."""
         path = self._path(key)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(result_to_dict(result), sort_keys=True, indent=None)
+        encoded = json.dumps(payload, sort_keys=True, indent=None)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.cache_dir, prefix=".tmp-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
+                handle.write(encoded)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -118,13 +180,20 @@ class ResultCache:
         return self._path(key).exists()
 
     def keys(self) -> Iterator[str]:
-        """Keys of every entry currently on disk."""
+        """Keys of every entry currently on disk.
+
+        Only names that are valid cache keys are yielded: orphaned temp
+        files (".tmp-*" from a hard-killed writer) and foreign JSON
+        files someone dropped into the directory (e.g. "report.v2.json",
+        whose stem ``_path`` would reject) are invisible rather than
+        poisoning ``usage``/``prune``/``clear``.
+        """
         if not self.cache_dir.is_dir():
             return
         for entry in sorted(self.cache_dir.glob("*.json")):
-            # pathlib's glob matches dotfiles; skip orphaned temp files
-            # (".tmp-*") left by a hard-killed writer.
             if entry.name.startswith("."):
+                continue
+            if any(ch in entry.stem for ch in "/\\."):
                 continue
             yield entry.stem
 
@@ -137,6 +206,49 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        return removed
+
+    def usage(self) -> CacheUsage:
+        """Entry count and total bytes currently on disk."""
+        entries = 0
+        total = 0
+        for key in self.keys():
+            try:
+                total += self._path(key).stat().st_size
+                entries += 1
+            except OSError:
+                pass
+        return CacheUsage(entries=entries, total_bytes=total)
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until the cache fits.
+
+        Entries are removed oldest-mtime-first (hits refresh mtime, so
+        recently-used entries survive) until the remaining footprint is
+        at most ``max_bytes``. Returns the number of entries removed.
+        """
+        if max_bytes < 0:
+            raise ReproError(f"max_bytes must be >= 0, got {max_bytes}")
+        aged = []
+        total = 0
+        for key in self.keys():
+            try:
+                stat = self._path(key).stat()
+            except OSError:
+                continue
+            aged.append((stat.st_mtime, key, stat.st_size))
+            total += stat.st_size
+        aged.sort()
+        removed = 0
+        for _mtime, key, size in aged:
+            if total <= max_bytes:
+                break
+            try:
+                self._path(key).unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

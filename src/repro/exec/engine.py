@@ -15,8 +15,17 @@ is an independent synthesis run over the same trace. The
   to serial ones.
 
 The pool is an optimization, never a requirement: any pool
-infrastructure failure (fork unavailable, broken worker) degrades to
-the serial path, and ``jobs=1`` bypasses the pool entirely.
+infrastructure failure (fork unavailable, broken worker, a stale worker
+trace) degrades to the serial path, and ``jobs=1`` bypasses the pool
+entirely.
+
+Every point is solved through the staged pipeline
+(:mod:`repro.pipeline`): the engine hands the task to
+:class:`~repro.core.synthesis.CrossbarSynthesizer`, which composes
+collect/window/conflict/bind stages over the process-shared artifact
+store. Sweep points over one trace therefore share the collection and
+windowing artifacts (a threshold sweep re-windows nothing), both in the
+serial path and within each pool worker.
 """
 
 from __future__ import annotations
@@ -38,7 +47,12 @@ from repro.platform.metrics import LatencyStats
 from repro.traffic.kernels import warm_analytics
 from repro.traffic.trace import TrafficTrace
 
-__all__ = ["SynthesisTask", "EvaluationOutcome", "ExecutionEngine"]
+__all__ = [
+    "SynthesisTask",
+    "EvaluationOutcome",
+    "ExecutionEngine",
+    "StaleWorkerTraceError",
+]
 
 
 @dataclass(frozen=True)
@@ -70,14 +84,34 @@ class EvaluationOutcome:
     finished: bool
 
 
+class StaleWorkerTraceError(RuntimeError):
+    """A pool worker held a trace other than the sweep's.
+
+    Raised (and transported back to the parent) when a task's expected
+    trace fingerprint does not match the worker's installed trace --
+    the reused-pool leak this check exists to catch. The engine treats
+    it like any pool infrastructure failure: degrade to the serial
+    path, which always solves against the right trace.
+    """
+
+
 # Worker-process state: the sweep's shared trace, installed once per
-# worker by the pool initializer instead of being pickled per task.
+# worker by the pool initializer instead of being pickled per task, and
+# its content fingerprint, verified per task. The engine currently
+# builds a fresh pool per sweep, so a mismatch indicates module-global
+# leakage (a worker inheriting state under ``fork``, or future pool
+# reuse across sweeps); the verification turns that silent wrong-trace
+# solve into a loud refusal the engine degrades from.
 _WORKER_TRACE: Optional[TrafficTrace] = None
+_WORKER_TRACE_DIGEST: Optional[str] = None
 
 
-def _install_worker_trace(trace: TrafficTrace) -> None:
-    global _WORKER_TRACE
+def _install_worker_trace(
+    trace: TrafficTrace, digest: Optional[str] = None
+) -> None:
+    global _WORKER_TRACE, _WORKER_TRACE_DIGEST
     _WORKER_TRACE = trace
+    _WORKER_TRACE_DIGEST = digest if digest is not None else trace_fingerprint(trace)
     # The parent warms the columnar analytics before spawning the pool,
     # so under ``fork`` (and via the pickled initargs under ``spawn``)
     # the compiled form arrives pre-built; this call is then a no-op,
@@ -86,9 +120,16 @@ def _install_worker_trace(trace: TrafficTrace) -> None:
 
 
 def _solve_task_in_worker(
-    index: int, task: SynthesisTask
+    index: int, task: SynthesisTask, expected_digest: str
 ) -> Tuple[int, SynthesisResult]:
-    assert _WORKER_TRACE is not None, "pool initializer did not run"
+    if _WORKER_TRACE is None:
+        raise StaleWorkerTraceError("pool initializer did not run")
+    if _WORKER_TRACE_DIGEST != expected_digest:
+        raise StaleWorkerTraceError(
+            f"worker holds trace {_WORKER_TRACE_DIGEST!r} but the task "
+            f"expects {expected_digest!r}; refusing to solve against a "
+            f"stale trace"
+        )
     return index, _solve_task(_WORKER_TRACE, task)
 
 
@@ -257,7 +298,7 @@ class ExecutionEngine:
         if self.jobs > 1 and len(tasks) > 1:
             try:
                 return self._solve_parallel(trace, tasks)
-            except (BrokenProcessPool, OSError):
+            except (BrokenProcessPool, OSError, StaleWorkerTraceError):
                 pass  # pool infrastructure failure: degrade to serial
         return [_solve_task(trace, task) for task in tasks]
 
@@ -265,14 +306,15 @@ class ExecutionEngine:
         self, trace: TrafficTrace, tasks: Sequence[SynthesisTask]
     ) -> List[SynthesisResult]:
         workers = min(self.jobs, len(tasks))
+        digest = trace_fingerprint(trace)
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=_pool_context(),
             initializer=_install_worker_trace,
-            initargs=(trace,),
+            initargs=(trace, digest),
         ) as pool:
             futures = [
-                pool.submit(_solve_task_in_worker, index, task)
+                pool.submit(_solve_task_in_worker, index, task, digest)
                 for index, task in enumerate(tasks)
             ]
             by_index: Dict[int, SynthesisResult] = {}

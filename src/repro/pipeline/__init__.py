@@ -1,0 +1,52 @@
+"""The staged synthesis pipeline (paper Fig. 3 as a first-class object).
+
+Historically every front end -- :class:`~repro.core.synthesis.CrossbarSynthesizer`,
+the :class:`~repro.exec.engine.ExecutionEngine` sweeps/batches, the
+scenario suite runner and the analysis sweep helpers -- re-drove the
+collect/window/conflict/bind flow monolithically, and caching existed
+only at whole-result granularity. This package factors the flow into
+typed stage artifacts with content-addressed fingerprints
+(:mod:`~repro.pipeline.artifacts`), a generalized per-stage artifact
+store (:mod:`~repro.pipeline.store`) and one
+:class:`~repro.pipeline.runner.PipelineRunner` every front end drives,
+so intermediate artifacts are reused wherever their fingerprints match:
+across the points of a sweep, across the scenarios of a suite, and
+across edits of a suite (incremental re-synthesis).
+"""
+
+from repro.pipeline.artifacts import (
+    STAGE_SCHEMA_VERSION,
+    BindingArtifact,
+    CollectedTraffic,
+    ConflictArtifact,
+    ValidatedDesign,
+    WindowedAnalysis,
+    stage_fingerprint,
+)
+from repro.pipeline.runner import (
+    PipelineDesign,
+    PipelineRunner,
+    SideArtifacts,
+    describe_stages,
+    reset_shared_runner,
+    shared_runner,
+)
+from repro.pipeline.store import ArtifactStore, StageCounters
+
+__all__ = [
+    "STAGE_SCHEMA_VERSION",
+    "CollectedTraffic",
+    "WindowedAnalysis",
+    "ConflictArtifact",
+    "BindingArtifact",
+    "ValidatedDesign",
+    "stage_fingerprint",
+    "PipelineRunner",
+    "PipelineDesign",
+    "SideArtifacts",
+    "shared_runner",
+    "reset_shared_runner",
+    "describe_stages",
+    "ArtifactStore",
+    "StageCounters",
+]

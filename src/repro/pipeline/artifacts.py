@@ -1,0 +1,234 @@
+"""Typed per-stage artifacts of the staged synthesis pipeline.
+
+The paper's methodology (Fig. 3) is an explicit staged flow::
+
+    traffic collection -> window segmentation -> conflict pre-processing
+        -> binding search -> validation
+
+Each stage's output is wrapped in a small frozen dataclass carrying a
+*content-addressed fingerprint*: a SHA-256 over the fingerprints of the
+stage's upstream artifacts plus the canonical encoding of exactly the
+configuration fields that stage consumes. Two consequences follow:
+
+* equal inputs always produce equal fingerprints, across processes and
+  Python versions (the encoding reuses
+  :func:`repro.exec.fingerprint.canonical_json`), so artifacts are
+  cacheable and shareable;
+* a configuration change only invalidates the stages that read the
+  changed field -- re-running a threshold sweep re-windows nothing, and
+  editing one scenario of a suite re-collects nothing else.
+
+The artifact types mirror the paper's stages one-to-one:
+
+=====================  ==============================================
+:class:`CollectedTraffic`   Phase 1 -- the full-crossbar traffic trace
+:class:`WindowedAnalysis`   Phase 2 -- one side's windowed design problem
+:class:`ConflictArtifact`   Phase 3 -- the conflict matrix
+:class:`BindingArtifact`    Phase 4 -- configuration search + binding
+:class:`ValidatedDesign`    Phase 4' -- the design replayed in simulation
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.core.preprocess import ConflictAnalysis
+from repro.core.problem import CrossbarDesignProblem
+from repro.core.search import SearchOutcome
+from repro.core.spec import BusBinding, CrossbarDesign, SynthesisConfig
+from repro.exec.fingerprint import canonical_json, sha256_hex, trace_fingerprint
+from repro.platform.metrics import LatencyStats
+from repro.traffic.trace import TrafficTrace
+
+__all__ = [
+    "STAGE_SCHEMA_VERSION",
+    "stage_fingerprint",
+    "window_stage_spec",
+    "conflict_stage_spec",
+    "binding_stage_spec",
+    "CollectedTraffic",
+    "WindowedAnalysis",
+    "ConflictArtifact",
+    "BindingArtifact",
+    "ValidatedDesign",
+]
+
+STAGE_SCHEMA_VERSION = 1
+"""Bump to invalidate every persisted stage artifact on format changes."""
+
+
+def stage_fingerprint(stage: str, upstream, spec: Any) -> str:
+    """Content hash of one stage execution.
+
+    ``upstream`` is the fingerprint (or fingerprint list) of the
+    artifacts the stage consumes; ``spec`` is a JSON-encodable record of
+    the configuration fields the stage reads -- *only* those fields, so
+    unrelated configuration changes never invalidate the stage.
+    """
+    payload = {
+        "schema": STAGE_SCHEMA_VERSION,
+        "stage": stage,
+        "upstream": upstream,
+        "spec": spec,
+    }
+    return sha256_hex(canonical_json(payload))
+
+
+def window_stage_spec(
+    config: SynthesisConfig, window_size: int, mirrored: bool
+) -> Dict[str, Any]:
+    """The configuration slice the window-segmentation stage reads."""
+    return {
+        "window_size": int(window_size),
+        "mirrored": bool(mirrored),
+        "variable_windows": config.variable_windows,
+        "variable_window_ratio": config.variable_window_ratio,
+    }
+
+
+def conflict_stage_spec(config: SynthesisConfig) -> Dict[str, Any]:
+    """The configuration slice the conflict pre-processing stage reads."""
+    return {
+        "overlap_threshold": config.overlap_threshold,
+        "use_criticality": config.use_criticality,
+    }
+
+
+def binding_stage_spec(config: SynthesisConfig) -> Dict[str, Any]:
+    """The configuration slice the search/binding stage reads."""
+    return {
+        "backend": config.backend,
+        "lp_engine": config.lp_engine,
+        "max_targets_per_bus": config.max_targets_per_bus,
+        "node_limit": config.node_limit,
+    }
+
+
+@dataclass(frozen=True)
+class CollectedTraffic:
+    """Phase 1 output: a full-crossbar traffic trace, content-addressed.
+
+    ``fingerprint`` is the trace's record-level content hash
+    (:func:`repro.exec.fingerprint.trace_fingerprint`), so two traces
+    with equal records share every downstream artifact regardless of how
+    they were produced.
+    """
+
+    trace: TrafficTrace
+    fingerprint: str
+    label: str = ""
+
+    @classmethod
+    def from_trace(
+        cls, trace: TrafficTrace, label: str = ""
+    ) -> "CollectedTraffic":
+        return cls(trace=trace, fingerprint=trace_fingerprint(trace), label=label)
+
+
+@dataclass(frozen=True)
+class WindowedAnalysis:
+    """Phase 2 output: one crossbar side's windowed design problem.
+
+    ``mirrored`` distinguishes the target->initiator side (designed on
+    the mirrored trace) from the initiator->target side.
+    """
+
+    problem: CrossbarDesignProblem
+    mirrored: bool
+    fingerprint: str
+
+    def describe(self) -> str:
+        return self.problem.describe()
+
+
+@dataclass(frozen=True)
+class ConflictArtifact:
+    """Phase 3 output: the conflict matrix for one windowed analysis."""
+
+    conflicts: ConflictAnalysis
+    fingerprint: str
+
+    def describe(self) -> str:
+        return f"{self.conflicts.num_conflicts} conflicting pairs"
+
+
+@dataclass(frozen=True)
+class BindingArtifact:
+    """Phase 4 output: the configuration search and optimized binding."""
+
+    search: SearchOutcome
+    binding: BusBinding
+    fingerprint: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.binding.num_buses} buses, "
+            f"{len(self.search.probes)} probes, "
+            f"maxov {self.binding.max_bus_overlap}"
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready encoding for the persistent stage store."""
+        return {
+            "search": {
+                "num_buses": self.search.num_buses,
+                "feasible_binding": list(self.search.feasible_binding),
+                "lower_bound": self.search.lower_bound,
+                "probes": {str(k): v for k, v in self.search.probes.items()},
+            },
+            "binding": {
+                "binding": list(self.binding.binding),
+                "num_buses": self.binding.num_buses,
+                "max_bus_overlap": self.binding.max_bus_overlap,
+                "optimal": self.binding.optimal,
+            },
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], fingerprint: str
+    ) -> "BindingArtifact":
+        """Decode a payload written by :meth:`to_payload`.
+
+        Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+        payloads; the store treats those as misses.
+        """
+        search_payload = payload["search"]
+        binding_payload = payload["binding"]
+        search = SearchOutcome(
+            num_buses=int(search_payload["num_buses"]),
+            feasible_binding=tuple(search_payload["feasible_binding"]),
+            lower_bound=int(search_payload["lower_bound"]),
+            probes={
+                int(k): bool(v) for k, v in search_payload["probes"].items()
+            },
+        )
+        binding = BusBinding(
+            binding=tuple(binding_payload["binding"]),
+            num_buses=int(binding_payload["num_buses"]),
+            max_bus_overlap=int(binding_payload["max_bus_overlap"]),
+            optimal=bool(binding_payload["optimal"]),
+        )
+        return cls(search=search, binding=binding, fingerprint=fingerprint)
+
+
+@dataclass(frozen=True)
+class ValidatedDesign:
+    """Validation-stage output: a design replayed through the platform
+    simulator, with the observed packet-latency statistics."""
+
+    design: CrossbarDesign
+    stats: LatencyStats
+    critical_stats: LatencyStats
+    finished: bool
+    fingerprint: str
+    label: str = ""
+
+    def describe(self) -> str:
+        mean = self.stats.mean if self.stats.count else 0.0
+        return (
+            f"{self.design.bus_count} buses, avg latency {mean:.1f} cy, "
+            f"{'finished' if self.finished else 'budget-capped'}"
+        )

@@ -1,0 +1,473 @@
+"""The staged pipeline runner.
+
+:class:`PipelineRunner` executes the paper's Fig. 3 flow stage by stage
+through an :class:`~repro.pipeline.store.ArtifactStore`. Every stage
+method first derives the output's content-addressed fingerprint (from
+the upstream artifacts' fingerprints plus the configuration slice the
+stage reads), then:
+
+1. returns the in-memory artifact if the store already holds it,
+2. else decodes a persisted per-stage entry when the store has a disk
+   layer and the stage serializes (search/binding),
+3. else executes the stage and stores the artifact in both layers.
+
+Each path is tallied per stage in the store's
+:class:`~repro.pipeline.store.StageCounters`, which is what incremental
+re-synthesis tests assert on and ``--explain-cache`` prints.
+
+Every solve entry point in the repository drives this runner:
+:class:`~repro.core.synthesis.CrossbarSynthesizer` composes
+``collect -> window -> conflicts -> bind`` per crossbar side, the
+:class:`~repro.exec.engine.ExecutionEngine` solves sweep/batch points
+through the synthesizer (so serial sweeps share windowing artifacts
+across points), and the scenario suite runner keeps one runner alive
+across runs so editing a suite reuses the unchanged scenarios' stages.
+
+A process-global runner (:func:`shared_runner`) memoizes the
+window/conflict *analysis* stages only: search/binding results are
+deliberately recomputed there so solver-level observability (solve
+counters, benchmarks) keeps meaning "this point was solved", and
+collection artifacts are not retained so the global store never pins
+callers' traces in memory. Callers that want binding or trace reuse --
+the suite runner, or anyone constructing a :class:`PipelineRunner`
+explicitly -- opt in per runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.binding import optimize_binding
+from repro.core.preprocess import ConflictAnalysis, build_conflicts
+from repro.core.problem import CrossbarDesignProblem
+from repro.core.search import search_minimum_buses
+from repro.core.spec import CrossbarDesign, SynthesisConfig
+from repro.core.validate import audit_binding
+from repro.pipeline.artifacts import (
+    BindingArtifact,
+    CollectedTraffic,
+    ConflictArtifact,
+    ValidatedDesign,
+    WindowedAnalysis,
+    binding_stage_spec,
+    conflict_stage_spec,
+    stage_fingerprint,
+    window_stage_spec,
+)
+from repro.pipeline.store import ArtifactStore
+from repro.profiling import track_phase
+from repro.traffic.trace import TrafficTrace
+
+__all__ = [
+    "SideArtifacts",
+    "PipelineDesign",
+    "PipelineRunner",
+    "shared_runner",
+    "reset_shared_runner",
+    "describe_stages",
+]
+
+
+@dataclass(frozen=True)
+class SideArtifacts:
+    """One crossbar side's stage chain (phases 2-4)."""
+
+    windowed: WindowedAnalysis
+    conflicts: ConflictArtifact
+    binding: BindingArtifact
+
+
+@dataclass(frozen=True)
+class PipelineDesign:
+    """The full staged flow's outcome for one synthesis point."""
+
+    collected: CollectedTraffic
+    it: SideArtifacts
+    ti: SideArtifacts
+    design: CrossbarDesign
+    fingerprint: str
+
+
+class PipelineRunner:
+    """Executes pipeline stages through an artifact store (see module
+    docstring for the lookup discipline).
+
+    Parameters
+    ----------
+    store:
+        The artifact store; a fresh in-memory store by default.
+    memoize_bindings:
+        Whether search/binding artifacts participate in store lookups.
+        Window/conflict analysis stages always do.
+    retain_traces:
+        Whether collection artifacts (which pin the whole trace) are
+        kept in the store. Downstream artifacts key off the trace's
+        content fingerprint either way, so window/conflict sharing
+        survives without retention -- the process-global runner turns
+        this off so designing many large traces sequentially cannot
+        accumulate them for the life of the process.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        memoize_bindings: bool = True,
+        retain_traces: bool = True,
+    ) -> None:
+        self.store = store if store is not None else ArtifactStore()
+        self.memoize_bindings = memoize_bindings
+        self.retain_traces = retain_traces
+
+    @property
+    def counters(self):
+        """The store's per-stage execution/caching tallies."""
+        return self.store.counters
+
+    def memoized(self, stage: str, fingerprint: str, compute):
+        """The store lookup discipline every in-memory stage follows:
+        serve the artifact if the store holds it, else run ``compute``
+        and store the result -- tallying the taken path under ``stage``.
+
+        Public so callers can define their own stages (the suite runner
+        keys trace building by scenario content through this).
+        """
+        cached = self.store.get(fingerprint)
+        if cached is not None:
+            self.counters.record_memo_hit(stage)
+            return cached
+        self.counters.record_computed(stage)
+        artifact = compute()
+        self.store.put(fingerprint, artifact)
+        return artifact
+
+    # -- phase 1: traffic collection ----------------------------------
+
+    def collect(
+        self, trace: Union[TrafficTrace, CollectedTraffic], label: str = ""
+    ) -> CollectedTraffic:
+        """Wrap a full-crossbar trace as the pipeline's root artifact.
+
+        The fingerprint is the trace's record-level content hash, so
+        equal traces -- however produced -- share every downstream
+        artifact.
+        """
+        if isinstance(trace, CollectedTraffic):
+            return trace
+        artifact = CollectedTraffic.from_trace(trace, label=label)
+        if not self.retain_traces:
+            # Wrap without storing: the fingerprint (already computed)
+            # keys every downstream stage, so sharing is unaffected,
+            # and the store never pins the caller's trace alive.
+            return artifact
+        fingerprint = stage_fingerprint("collect", artifact.fingerprint, None)
+        return self.memoized("collect", fingerprint, lambda: artifact)
+
+    # -- phase 2: window segmentation / overlap extraction ------------
+
+    def window(
+        self,
+        collected: CollectedTraffic,
+        config: SynthesisConfig,
+        window_size: int,
+        mirrored: bool,
+    ) -> WindowedAnalysis:
+        """Segment one crossbar side into windows and extract the
+        design problem (``comm``/``wo`` tensors, criticality).
+
+        ``mirrored=True`` is the target->initiator side, analyzed on the
+        mirrored trace per the paper's "designed in a similar fashion".
+        """
+        spec = window_stage_spec(config, window_size, mirrored)
+        fingerprint = stage_fingerprint("window", collected.fingerprint, spec)
+
+        def compute() -> WindowedAnalysis:
+            trace = collected.trace.mirrored() if mirrored else collected.trace
+            return WindowedAnalysis(
+                problem=self._problem_for(trace, window_size, config),
+                mirrored=mirrored,
+                fingerprint=fingerprint,
+            )
+
+        return self.memoized("window", fingerprint, compute)
+
+    @staticmethod
+    def _problem_for(
+        trace: TrafficTrace, window: int, config: SynthesisConfig
+    ) -> CrossbarDesignProblem:
+        if not config.variable_windows:
+            return CrossbarDesignProblem.from_trace(trace, window)
+        from repro.traffic.qos import phase_aligned_boundaries
+
+        boundaries = phase_aligned_boundaries(
+            trace,
+            min_window=max(1, window // config.variable_window_ratio),
+            max_window=window,
+        )
+        return CrossbarDesignProblem.from_trace_boundaries(trace, boundaries)
+
+    # -- phase 3: conflict pre-processing -----------------------------
+
+    def conflicts(
+        self, windowed: WindowedAnalysis, config: SynthesisConfig
+    ) -> ConflictArtifact:
+        """Build the conflict matrix for one windowed analysis."""
+        spec = conflict_stage_spec(config)
+        fingerprint = stage_fingerprint(
+            "conflicts", windowed.fingerprint, spec
+        )
+        return self.memoized(
+            "conflicts",
+            fingerprint,
+            lambda: ConflictArtifact(
+                conflicts=build_conflicts(windowed.problem, config),
+                fingerprint=fingerprint,
+            ),
+        )
+
+    # -- phase 4: configuration search + optimal binding --------------
+
+    def bind(
+        self,
+        windowed: WindowedAnalysis,
+        conflicts: ConflictArtifact,
+        config: SynthesisConfig,
+    ) -> BindingArtifact:
+        """Search the minimum configuration and optimize the binding."""
+        fingerprint = stage_fingerprint(
+            "bind",
+            [windowed.fingerprint, conflicts.fingerprint],
+            binding_stage_spec(config),
+        )
+        return self._bind_at(
+            "bind", fingerprint, windowed.problem, conflicts.conflicts, config
+        )
+
+    def bind_merged(
+        self,
+        problem: CrossbarDesignProblem,
+        conflicts: ConflictAnalysis,
+        config: SynthesisConfig,
+        upstream: Sequence[str],
+        merge_spec: Dict[str, Any],
+    ) -> BindingArtifact:
+        """The robust multi-scenario solve as a cacheable stage.
+
+        ``upstream`` lists the per-scenario analysis fingerprints the
+        merged problem was built from and ``merge_spec`` the merge
+        policy/weights, so the fingerprint is content-addressed without
+        hashing the merged tensors themselves.
+        """
+        fingerprint = stage_fingerprint(
+            "bind-merged",
+            list(upstream),
+            {**binding_stage_spec(config), **merge_spec},
+        )
+        return self._bind_at(
+            "bind-merged", fingerprint, problem, conflicts, config
+        )
+
+    def _bind_at(
+        self,
+        stage: str,
+        fingerprint: str,
+        problem: CrossbarDesignProblem,
+        conflicts: ConflictAnalysis,
+        config: SynthesisConfig,
+    ) -> BindingArtifact:
+        if self.memoize_bindings:
+            cached = self.store.get(fingerprint)
+            if cached is not None:
+                self.counters.record_memo_hit(stage)
+                return cached
+            payload = self.store.get_payload(fingerprint)
+            if payload is not None:
+                try:
+                    artifact = BindingArtifact.from_payload(
+                        payload, fingerprint
+                    )
+                except (KeyError, TypeError, ValueError):
+                    pass  # malformed persisted stage entry: recompute
+                else:
+                    self.counters.record_disk_hit(stage)
+                    self.store.put(fingerprint, artifact)
+                    return artifact
+        self.counters.record_computed(stage)
+        with track_phase("solve"):
+            search = search_minimum_buses(problem, conflicts, config)
+            binding = optimize_binding(
+                problem, conflicts, search.num_buses, config
+            )
+            audit_binding(
+                problem,
+                conflicts,
+                binding.binding,
+                config.max_targets_per_bus,
+                raise_on_violation=True,
+            )
+        artifact = BindingArtifact(
+            search=search, binding=binding, fingerprint=fingerprint
+        )
+        if self.memoize_bindings:
+            self.store.put(fingerprint, artifact)
+            self.store.put_payload(fingerprint, artifact.to_payload())
+        return artifact
+
+    # -- composite drivers --------------------------------------------
+
+    def design_side(
+        self,
+        collected: CollectedTraffic,
+        config: SynthesisConfig,
+        window_size: int,
+        mirrored: bool,
+    ) -> SideArtifacts:
+        """Phases 2-4 for one crossbar side."""
+        windowed = self.window(collected, config, window_size, mirrored)
+        conflicts = self.conflicts(windowed, config)
+        binding = self.bind(windowed, conflicts, config)
+        return SideArtifacts(
+            windowed=windowed, conflicts=conflicts, binding=binding
+        )
+
+    def design(
+        self,
+        trace: Union[TrafficTrace, CollectedTraffic],
+        config: SynthesisConfig,
+        window_size: int,
+        label: str = "",
+    ) -> PipelineDesign:
+        """The full staged flow for both crossbars of one point."""
+        collected = self.collect(trace, label=label)
+        it = self.design_side(collected, config, window_size, mirrored=False)
+        ti = self.design_side(collected, config, window_size, mirrored=True)
+        design = CrossbarDesign(
+            it=it.binding.binding, ti=ti.binding.binding, label="windowed"
+        )
+        fingerprint = stage_fingerprint(
+            "design",
+            [it.binding.fingerprint, ti.binding.fingerprint],
+            None,
+        )
+        return PipelineDesign(
+            collected=collected,
+            it=it,
+            ti=ti,
+            design=design,
+            fingerprint=fingerprint,
+        )
+
+    # -- validation stage ---------------------------------------------
+
+    def validate(
+        self,
+        application,
+        design: CrossbarDesign,
+        max_cycles: int,
+        source_key: str,
+        label: str = "",
+    ) -> ValidatedDesign:
+        """Replay a design through the platform simulator.
+
+        ``source_key`` must determine the application's workload (e.g.
+        ``"app:qsort"`` plus its build parameters encoded by the caller):
+        it keys the memo together with the bindings and cycle budget.
+        Memory-only -- simulation results are cheap to keep and awkward
+        to serialize faithfully.
+        """
+        fingerprint = stage_fingerprint(
+            "validate",
+            None,
+            {
+                "source": source_key,
+                "it": list(design.it.binding),
+                "ti": list(design.ti.binding),
+                "budget": int(max_cycles),
+            },
+        )
+        def compute() -> ValidatedDesign:
+            result = application.simulate(
+                design.it.as_list(), design.ti.as_list(), max_cycles
+            )
+            return ValidatedDesign(
+                design=design,
+                stats=result.latency_stats(),
+                critical_stats=result.latency_stats(critical_only=True),
+                finished=result.finished,
+                fingerprint=fingerprint,
+                label=label or source_key,
+            )
+
+        return self.memoized("validate", fingerprint, compute)
+
+
+_SHARED_RUNNER: Optional[PipelineRunner] = None
+
+
+def shared_runner() -> PipelineRunner:
+    """The process-global analysis-stage runner (see module docstring).
+
+    Bindings are not memoized here -- a solve requested without an
+    explicit store is a solve performed, which keeps solver-level
+    instrumentation and benchmarks meaningful -- and traces are not
+    retained, so the global store holds only derived window/conflict
+    artifacts under its LRU bound.
+    """
+    global _SHARED_RUNNER
+    if _SHARED_RUNNER is None:
+        _SHARED_RUNNER = PipelineRunner(
+            store=ArtifactStore(max_memory_entries=64),
+            memoize_bindings=False,
+            retain_traces=False,
+        )
+    return _SHARED_RUNNER
+
+
+def reset_shared_runner() -> None:
+    """Drop the process-global runner (tests use this for isolation)."""
+    global _SHARED_RUNNER
+    _SHARED_RUNNER = None
+
+
+def describe_stages(design: PipelineDesign) -> List[Tuple[str, str, str]]:
+    """(stage, fingerprint, summary) rows for ``repro pipeline inspect``."""
+    collected = design.collected
+    rows: List[Tuple[str, str, str]] = [
+        (
+            "collect",
+            collected.fingerprint,
+            f"{len(collected.trace)} records, "
+            f"{collected.trace.total_cycles} cycles",
+        )
+    ]
+    for side_name, side in (("it", design.it), ("ti", design.ti)):
+        rows.append(
+            (
+                f"window[{side_name}]",
+                side.windowed.fingerprint,
+                side.windowed.describe(),
+            )
+        )
+        rows.append(
+            (
+                f"conflicts[{side_name}]",
+                side.conflicts.fingerprint,
+                side.conflicts.describe(),
+            )
+        )
+        rows.append(
+            (
+                f"bind[{side_name}]",
+                side.binding.fingerprint,
+                side.binding.describe(),
+            )
+        )
+    rows.append(
+        (
+            "design",
+            design.fingerprint,
+            f"{design.design.it.num_buses} IT + "
+            f"{design.design.ti.num_buses} TI buses",
+        )
+    )
+    return rows

@@ -1,0 +1,213 @@
+"""The generalized per-stage artifact store.
+
+Where :class:`repro.exec.cache.ResultCache` maps whole synthesis points
+to :class:`~repro.exec.serialize.SynthesisResult` records, the
+:class:`ArtifactStore` holds *stage* outputs keyed by their
+content-addressed fingerprints:
+
+* an **in-memory layer** -- an LRU map from fingerprint to the live
+  artifact object (problems, conflict matrices, bindings). This is what
+  makes a window-size sweep share one traffic-collection artifact
+  across points, and an edited scenario suite reuse the unchanged
+  scenarios' analyses.
+* an optional **disk layer** -- JSON-serializable stages (today the
+  search/binding stage) additionally persist through a
+  :class:`ResultCache`, so solved bindings survive across processes and
+  sessions. Entries are keyed ``stage-<fingerprint-prefix>`` and live in
+  the same cache directory as whole-result entries (one ``prune`` /
+  ``usage`` covers both).
+
+Every lookup and store is tallied per stage in :class:`StageCounters`;
+the counters are what the incremental-resynthesis tests assert on and
+what ``repro scenarios run --explain-cache`` prints.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+from repro.exec.cache import ResultCache
+
+__all__ = ["StageCounters", "ArtifactStore", "STAGE_ENTRY_FORMAT"]
+
+STAGE_ENTRY_FORMAT = "repro-stage-artifact-v1"
+
+_DEFAULT_MEMORY_SLOTS = 128
+"""In-memory artifacts kept per store before LRU eviction. Sized for the
+largest realistic sweep (tens of points, a handful of artifacts each)
+while bounding the tensor-heavy window artifacts a long session creates."""
+
+
+class StageCounters:
+    """Per-stage execution/caching tallies.
+
+    ``computed[stage]`` counts real stage executions, ``memo_hits`` the
+    in-memory reuses, ``disk_hits`` the persistent-store reuses. The sum
+    of the three is the number of times the stage's output was needed.
+    """
+
+    def __init__(self) -> None:
+        self.computed: Dict[str, int] = {}
+        self.memo_hits: Dict[str, int] = {}
+        self.disk_hits: Dict[str, int] = {}
+
+    def _bump(self, table: Dict[str, int], stage: str) -> None:
+        table[stage] = table.get(stage, 0) + 1
+
+    def record_computed(self, stage: str) -> None:
+        self._bump(self.computed, stage)
+
+    def record_memo_hit(self, stage: str) -> None:
+        self._bump(self.memo_hits, stage)
+
+    def record_disk_hit(self, stage: str) -> None:
+        self._bump(self.disk_hits, stage)
+
+    def reset(self) -> None:
+        self.computed.clear()
+        self.memo_hits.clear()
+        self.disk_hits.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """A copy of the tallies (for deltas around one run)."""
+        return {
+            "computed": dict(self.computed),
+            "memo_hits": dict(self.memo_hits),
+            "disk_hits": dict(self.disk_hits),
+        }
+
+    def stages(self) -> List[str]:
+        """Every stage name seen so far, sorted."""
+        names = set(self.computed) | set(self.memo_hits) | set(self.disk_hits)
+        return sorted(names)
+
+    def breakdown(self) -> str:
+        """Human-readable per-stage hit/miss table."""
+        return self.format_tables(self.snapshot())
+
+    @staticmethod
+    def delta(
+        before: Dict[str, Dict[str, int]], after: Dict[str, Dict[str, int]]
+    ) -> Dict[str, Dict[str, int]]:
+        """Per-stage tallies accumulated between two snapshots."""
+        out: Dict[str, Dict[str, int]] = {}
+        for table in ("computed", "memo_hits", "disk_hits"):
+            diffs = {
+                stage: count - before.get(table, {}).get(stage, 0)
+                for stage, count in after.get(table, {}).items()
+            }
+            out[table] = {k: v for k, v in diffs.items() if v}
+        return out
+
+    @staticmethod
+    def format_tables(tables: Dict[str, Dict[str, int]]) -> str:
+        """Render snapshot/delta tables as the ``--explain-cache`` view."""
+        names = sorted(
+            set().union(*(tables.get(t, {}) for t in tables)) if tables else ()
+        )
+        lines = ["stage                     computed  memo-hit  disk-hit"]
+        for stage in names:
+            lines.append(
+                f"{stage:<25} "
+                f"{tables.get('computed', {}).get(stage, 0):>8} "
+                f"{tables.get('memo_hits', {}).get(stage, 0):>9} "
+                f"{tables.get('disk_hits', {}).get(stage, 0):>9}"
+            )
+        if len(lines) == 1:
+            lines.append("(no stage executions recorded)")
+        return "\n".join(lines)
+
+
+class ArtifactStore:
+    """Fingerprint-addressed store for pipeline stage artifacts.
+
+    Parameters
+    ----------
+    disk:
+        Optional persistent layer for JSON-serializable stages. Stage
+        entries get their own :class:`ResultCache` *instance* so their
+        hit/miss accounting never pollutes the whole-result statistics
+        callers observe on the engine's cache.
+    max_memory_entries:
+        LRU bound of the in-memory layer.
+    """
+
+    def __init__(
+        self,
+        disk: Optional[ResultCache] = None,
+        max_memory_entries: int = _DEFAULT_MEMORY_SLOTS,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1")
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self.max_memory_entries = max_memory_entries
+        self.disk = disk
+        self.counters = StageCounters()
+
+    # -- in-memory layer ----------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Any]:
+        """The live artifact for ``fingerprint``, or ``None``."""
+        artifact = self._memory.get(fingerprint)
+        if artifact is not None:
+            self._memory.move_to_end(fingerprint)
+        return artifact
+
+    def put(self, fingerprint: str, artifact: Any) -> None:
+        """Keep ``artifact`` in the in-memory layer (LRU-bounded)."""
+        self._memory[fingerprint] = artifact
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    def reserve(self, entries: int) -> None:
+        """Grow the LRU bound to at least ``entries`` (never shrinks).
+
+        Callers that know their working set -- e.g. the suite runner,
+        whose incremental guarantee dies silently if one run's artifacts
+        exceed the bound -- size the store before filling it.
+        """
+        if entries > self.max_memory_entries:
+            self.max_memory_entries = entries
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._memory
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    # -- disk layer ---------------------------------------------------
+
+    @staticmethod
+    def _disk_key(fingerprint: str) -> str:
+        # Prefixed so stage entries are recognizable next to whole-result
+        # entries sharing the directory; the fingerprint is already a
+        # collision-resistant content hash.
+        return f"stage-{fingerprint}"
+
+    def get_payload(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The persisted payload for ``fingerprint``, or ``None``."""
+        if self.disk is None:
+            return None
+        entry = self.disk.get_json(self._disk_key(fingerprint))
+        if entry is None or entry.get("format") != STAGE_ENTRY_FORMAT:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put_payload(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        """Persist ``payload`` under ``fingerprint`` (no-op without disk)."""
+        if self.disk is None:
+            return
+        self.disk.put_json(
+            self._disk_key(fingerprint),
+            {"format": STAGE_ENTRY_FORMAT, "payload": payload},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        disk = self.disk.cache_dir if self.disk is not None else None
+        return f"<ArtifactStore memory={len(self._memory)} disk={disk}>"

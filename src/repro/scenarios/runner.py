@@ -12,15 +12,27 @@ and produces a :class:`SuiteRunReport`:
    (:class:`~repro.core.multi.RobustSynthesizer`) under the selected
    merge policy,
 4. the shared design is replayed against every scenario's own problem
-   (capacity + separation audit, per-scenario worst-case overlap),
+   (capacity + separation audit, per-scenario worst-case overlap), and
+   optionally (``replay_latency=True``) through the platform simulator
+   for app-backed scenarios, reporting observed packet latency,
 5. the report aggregates everything: a per-scenario table (own optimum
    vs the robust design), violation tables, and a Pareto view over
    (bus count, worst-case overlap) across all candidate designs.
+
+Every step above runs as a stage of the staged pipeline
+(:mod:`repro.pipeline`) through a runner-owned artifact store that
+*persists across* :meth:`ScenarioSuiteRunner.run` calls. That makes
+suite editing incremental: re-running an edited suite rebuilds, windows
+and re-solves only the scenarios whose content changed -- everything
+else is served from the store -- and then re-runs merge/replay on the
+cached per-scenario analyses. The per-stage hit/miss breakdown of the
+last run is available from :meth:`ScenarioSuiteRunner.explain_cache`
+(surfaced by ``repro scenarios run --explain-cache``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
@@ -37,10 +49,14 @@ from repro.core.problem import CrossbarDesignProblem
 from repro.core.spec import BusBinding, CrossbarDesign, SynthesisConfig
 from repro.core.validate import audit_binding
 from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
 from repro.exec.engine import ExecutionEngine, SynthesisTask
 from repro.exec.serialize import SynthesisResult, result_to_dict
+from repro.pipeline.artifacts import CollectedTraffic, stage_fingerprint
+from repro.pipeline.runner import PipelineRunner
+from repro.pipeline.store import ArtifactStore, StageCounters
+from repro.platform.metrics import LatencyStats
 from repro.scenarios.model import Scenario, ScenarioSuite
-from repro.traffic.kernels import warm_analytics
 from repro.traffic.trace import TrafficTrace
 
 __all__ = [
@@ -65,6 +81,10 @@ class ScenarioOutcome:
     individual: SynthesisResult
     it_check: ScenarioSideCheck
     ti_check: ScenarioSideCheck
+    latency: Optional[LatencyStats] = None
+    """Observed packet latency of the robust design replayed through the
+    platform simulator -- only populated for full-load app-backed
+    scenarios when the runner was built with ``replay_latency=True``."""
 
     @property
     def individual_buses(self) -> int:
@@ -126,6 +146,9 @@ class SuiteRunReport:
 
     def summary(self) -> str:
         """The aggregated plain-text report."""
+        with_latency = any(
+            outcome.latency is not None for outcome in self.outcomes
+        )
         rows = [
             [
                 outcome.scenario.name,
@@ -138,12 +161,24 @@ class SuiteRunReport:
                 len(outcome.violations),
                 outcome.worst_case_overlap,
             ]
+            + (
+                [
+                    f"{outcome.latency.mean:.1f}"
+                    if outcome.latency is not None
+                    else "-"
+                ]
+                if with_latency
+                else []
+            )
             for outcome in self.outcomes
         ]
+        headers = ["scenario", "source", "packets", "window", "own IT+TI",
+                   "own buses", "robust viol", "robust maxov"]
+        if with_latency:
+            headers.append("avg lat (cy)")
         parts = [
             format_table(
-                ["scenario", "source", "packets", "window", "own IT+TI",
-                 "own buses", "robust viol", "robust maxov"],
+                headers,
                 rows,
                 title=f"scenario suite '{self.suite_name}' "
                 f"({len(self.outcomes)} scenarios, policy={self.policy})",
@@ -237,6 +272,13 @@ class SuiteRunReport:
                     "individual": result_to_dict(outcome.individual),
                     "it_check": check_dict(outcome.it_check),
                     "ti_check": check_dict(outcome.ti_check),
+                    # Latency replay is opt-in; the key appears only when
+                    # it ran, keeping reports byte-identical otherwise.
+                    **(
+                        {"latency": asdict(outcome.latency)}
+                        if outcome.latency is not None
+                        else {}
+                    ),
                 }
                 for outcome in self.outcomes
             ],
@@ -254,7 +296,26 @@ class SuiteRunReport:
 
 
 class ScenarioSuiteRunner:
-    """Drives a suite end to end; see the module docstring."""
+    """Drives a suite end to end; see the module docstring.
+
+    Parameters
+    ----------
+    engine:
+        Execution engine for the per-scenario individual solves
+        (parallelism + whole-result caching).
+    replay_latency:
+        Also replay the robust design through the platform simulator for
+        every full-load app-backed scenario, reporting average packet
+        latency next to the capacity/separation audit. Profile-backed
+        and load-thinned scenarios have no faithful program-level replay
+        and keep ``latency=None``.
+    pipeline:
+        The stage runner; by default a fresh
+        :class:`~repro.pipeline.PipelineRunner` whose store persists
+        across :meth:`run` calls on this runner (the incremental path)
+        and -- when the engine has a cache directory -- persists
+        serializable stages there too.
+    """
 
     def __init__(
         self,
@@ -262,58 +323,87 @@ class ScenarioSuiteRunner:
         config: Optional[SynthesisConfig] = None,
         policy: str = "union",
         min_weight: float = 0.5,
+        replay_latency: bool = False,
+        pipeline: Optional[PipelineRunner] = None,
     ) -> None:
         _check_policy(policy)
         self.engine = engine if engine is not None else ExecutionEngine(jobs=1)
         self.config = config or SynthesisConfig()
         self.policy = policy
         self.min_weight = min_weight
+        self.replay_latency = replay_latency
+        if pipeline is None:
+            disk = None
+            if self.engine.cache is not None:
+                # A separate ResultCache *instance* on the engine's
+                # directory: stage entries share the directory (one
+                # prune covers both) without polluting the whole-result
+                # hit/miss statistics callers observe on engine.cache.
+                disk = ResultCache(self.engine.cache.cache_dir)
+            pipeline = PipelineRunner(
+                store=ArtifactStore(disk=disk), memoize_bindings=True
+            )
+        self.pipeline = pipeline
+        self.last_run_breakdown: Dict[str, Dict[str, int]] = {}
 
     def run(self, suite: ScenarioSuite) -> SuiteRunReport:
         """Synthesize the suite: every scenario alone, then one robust
-        crossbar validated against all of them."""
+        crossbar validated against all of them.
+
+        Re-running after editing the suite re-executes only the changed
+        scenarios' per-scenario stages (trace build, windowing,
+        conflicts, individual solve); unchanged scenarios are served
+        from the pipeline store and only merge/replay re-runs on the
+        cached analyses.
+        """
+        before = self.pipeline.counters.snapshot()
         scenarios = list(suite.scenarios)
-        traces = [scenario.build_trace() for scenario in scenarios]
+        # ~6 store entries per scenario and run (trace, 2x window, 2x
+        # conflicts, individual) plus suite-level artifacts: size the
+        # LRU so one run can never evict its own working set, or the
+        # incremental guarantee would degrade silently on big suites.
+        self.pipeline.store.reserve(8 * len(scenarios) + 32)
+        collected = [self._scenario_traffic(s) for s in scenarios]
+        traces = [artifact.trace for artifact in collected]
         self._check_platform(suite, scenarios, traces)
         windows = [
             scenario.effective_window(trace)
             for scenario, trace in zip(scenarios, traces)
         ]
 
-        # Per-scenario individual optima: parallel + cached via the engine.
-        tasks = [
-            SynthesisTask(
-                config=replace(self.config, window_size=window),
-                window_size=window,
+        # Per-scenario analyses (phases 2-3) as cached pipeline stages.
+        # The robust problems are always uniform-windowed (the merge
+        # policies align windows by index), matching the historical
+        # CrossbarDesignProblem.from_trace behaviour.
+        analysis_config = replace(self.config, variable_windows=False)
+        it_sides = []
+        ti_sides = []
+        for artifact, window in zip(collected, windows):
+            it_windowed = self.pipeline.window(
+                artifact, analysis_config, window, mirrored=False
             )
-            for window in windows
-        ]
-        individuals = self.engine.run_batch(
-            list(zip(traces, tasks)),
-            applications=[
-                f"scenario:{scenario.source}:{scenario.name}"
-                for scenario in scenarios
-            ],
+            ti_windowed = self.pipeline.window(
+                artifact, analysis_config, window, mirrored=True
+            )
+            it_sides.append(
+                (it_windowed, self.pipeline.conflicts(it_windowed, analysis_config))
+            )
+            ti_sides.append(
+                (ti_windowed, self.pipeline.conflicts(ti_windowed, analysis_config))
+            )
+
+        individuals = self._individual_results(
+            scenarios, collected, traces, windows
         )
 
-        # One robust design across all scenarios (single solve, so it
-        # runs in-process; the analytics kernels are warmed per trace).
-        for trace in traces:
-            warm_analytics(trace)
         names = [scenario.name for scenario in scenarios]
-        it_problems = [
-            CrossbarDesignProblem.from_trace(trace, window)
-            for trace, window in zip(traces, windows)
-        ]
-        ti_problems = [
-            CrossbarDesignProblem.from_trace(trace.mirrored(), window)
-            for trace, window in zip(traces, windows)
-        ]
         robust = RobustSynthesizer(
             self.config, policy=self.policy, min_weight=self.min_weight
-        ).design_from_problems(
-            it_problems, ti_problems, names=names, weights=suite.weights
+        ).design_from_artifacts(
+            self.pipeline, it_sides, ti_sides, names=names, weights=suite.weights
         )
+
+        latencies = self._replay_latencies(scenarios, robust.design)
 
         outcomes = tuple(
             ScenarioOutcome(
@@ -324,18 +414,27 @@ class ScenarioSuiteRunner:
                 individual=individual,
                 it_check=it_check,
                 ti_check=ti_check,
+                latency=latency,
             )
-            for scenario, trace, window, individual, it_check, ti_check in zip(
+            for scenario, trace, window, individual, it_check, ti_check, latency
+            in zip(
                 scenarios,
                 traces,
                 windows,
                 individuals,
                 robust.it_report.scenario_checks,
                 robust.ti_report.scenario_checks,
+                latencies,
             )
         )
         pareto = self._pareto_view(
-            outcomes, robust.design, it_problems, ti_problems
+            outcomes,
+            robust.design,
+            [windowed.problem for windowed, _ in it_sides],
+            [windowed.problem for windowed, _ in ti_sides],
+        )
+        self.last_run_breakdown = StageCounters.delta(
+            before, self.pipeline.counters.snapshot()
         )
         return SuiteRunReport(
             suite_name=suite.name,
@@ -344,6 +443,128 @@ class ScenarioSuiteRunner:
             outcomes=outcomes,
             pareto=pareto,
         )
+
+    def explain_cache(self) -> str:
+        """Per-stage computed/memo-hit/disk-hit table of the last run."""
+        return StageCounters.format_tables(self.last_run_breakdown)
+
+    # -- per-scenario stages ------------------------------------------
+
+    def _scenario_traffic(self, scenario: Scenario) -> CollectedTraffic:
+        """Phase 1 per scenario, content-addressed by the scenario spec.
+
+        The key covers exactly the fields that determine the trace
+        (source, params, load scale, QoS targets, and the name -- it
+        seeds app-trace thinning); editing a scenario's weight or
+        description therefore rebuilds nothing.
+        """
+        spec = {
+            "source": scenario.source,
+            "params": dict(scenario.params),
+            "load_scale": scenario.load_scale,
+            "critical_targets": list(scenario.critical_targets),
+            "name": scenario.name,
+        }
+        fingerprint = stage_fingerprint("scenario-trace", None, spec)
+        return self.pipeline.memoized(
+            "scenario-trace",
+            fingerprint,
+            lambda: CollectedTraffic.from_trace(
+                scenario.build_trace(), label=scenario.name
+            ),
+        )
+
+    def _individual_results(
+        self,
+        scenarios: Sequence[Scenario],
+        collected: Sequence[CollectedTraffic],
+        traces: Sequence[TrafficTrace],
+        windows: Sequence[int],
+    ) -> List[SynthesisResult]:
+        """Each scenario's own optimum, memoized across runs.
+
+        Unmemoized scenarios go to the engine in one batch (parallel +
+        engine-cached); a rerun of an edited suite therefore hands the
+        engine only the changed scenarios. ``computed`` here counts
+        "delegated to the engine" -- the engine may still serve the
+        point from its own whole-result cache.
+        """
+        tasks = [
+            SynthesisTask(
+                config=replace(self.config, window_size=window),
+                window_size=window,
+            )
+            for window in windows
+        ]
+        tags = [
+            f"scenario:{scenario.source}:{scenario.name}"
+            for scenario in scenarios
+        ]
+        results: List[Optional[SynthesisResult]] = [None] * len(scenarios)
+        pending: List[Tuple[int, str]] = []
+        for index, (artifact, task, tag) in enumerate(
+            zip(collected, tasks, tags)
+        ):
+            fingerprint = stage_fingerprint(
+                "individual-solve",
+                artifact.fingerprint,
+                {
+                    "config": asdict(task.config),
+                    "window": task.window_size,
+                    "tag": tag,
+                },
+            )
+            cached = self.pipeline.store.get(fingerprint)
+            if cached is not None:
+                self.pipeline.counters.record_memo_hit("individual-solve")
+                results[index] = cached
+                continue
+            pending.append((index, fingerprint))
+        if pending:
+            solved = self.engine.run_batch(
+                [(traces[index], tasks[index]) for index, _ in pending],
+                applications=[tags[index] for index, _ in pending],
+            )
+            for (index, fingerprint), result in zip(pending, solved):
+                self.pipeline.counters.record_computed("individual-solve")
+                self.pipeline.store.put(fingerprint, result)
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    def _replay_latencies(
+        self, scenarios: Sequence[Scenario], design: CrossbarDesign
+    ) -> List[Optional[LatencyStats]]:
+        """The optional validation stage: latency replay of the robust
+        design through the platform simulator (app-backed scenarios)."""
+        if not self.replay_latency:
+            return [None] * len(scenarios)
+        from repro.apps import build_application
+        from repro.exec.fingerprint import canonical_json
+
+        latencies: List[Optional[LatencyStats]] = []
+        for scenario in scenarios:
+            if scenario.source_kind != "app" or scenario.load_scale != 1.0:
+                # Profiles have no programs to re-simulate, and thinned
+                # app traces have no faithful program-level replay: the
+                # simulator would run the full-load programs and report
+                # the wrong scenario's latency (ROADMAP: trace-driven
+                # replay). No number beats a misleading one.
+                latencies.append(None)
+                continue
+            application = build_application(
+                scenario.source_name, **dict(scenario.params)
+            )
+            validated = self.pipeline.validate(
+                application,
+                design,
+                application.sim_cycles * 4,
+                source_key=canonical_json(
+                    {"source": scenario.source, "params": dict(scenario.params)}
+                ),
+                label=scenario.name,
+            )
+            latencies.append(validated.stats)
+        return latencies
 
     @staticmethod
     def _check_platform(

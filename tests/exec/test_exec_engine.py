@@ -291,3 +291,68 @@ class TestEvaluationFanOut:
         serial = compare_designs(app, designs)
         parallel = compare_designs(app, designs, engine=ExecutionEngine(jobs=2))
         assert serial == parallel
+
+
+class TestWorkerTraceStaleness:
+    """run_batch/run_sweep workers must verify their installed trace.
+
+    A reused or fork-inherited worker process can hold a previous
+    sweep's trace in its module globals; solving against it would be
+    silently wrong. Tasks ship the expected trace fingerprint and the
+    worker refuses on mismatch.
+    """
+
+    def _cleanup(self):
+        from repro.exec import engine as engine_module
+
+        engine_module._WORKER_TRACE = None
+        engine_module._WORKER_TRACE_DIGEST = None
+
+    def test_mismatched_trace_refused(self, small_trace):
+        from repro.exec import StaleWorkerTraceError
+        from repro.exec.engine import (
+            _install_worker_trace,
+            _solve_task_in_worker,
+        )
+        from repro.exec.fingerprint import trace_fingerprint
+
+        stale = synthetic_trace(
+            burst_cycles=300, total_cycles=12_000, num_initiators=5,
+            num_targets=5, seed=99,
+        )
+        task = SynthesisTask(config=CONFIG, window_size=600)
+        _install_worker_trace(stale)  # the leak: a previous sweep's trace
+        try:
+            with pytest.raises(StaleWorkerTraceError):
+                _solve_task_in_worker(0, task, trace_fingerprint(small_trace))
+        finally:
+            self._cleanup()
+
+    def test_matching_trace_solves(self, small_trace):
+        from repro.exec.engine import (
+            _install_worker_trace,
+            _solve_task_in_worker,
+            _solve_task,
+        )
+        from repro.exec.fingerprint import trace_fingerprint
+
+        task = SynthesisTask(config=CONFIG, window_size=600)
+        _install_worker_trace(small_trace)
+        try:
+            index, result = _solve_task_in_worker(
+                3, task, trace_fingerprint(small_trace)
+            )
+        finally:
+            self._cleanup()
+        assert index == 3
+        assert result == _solve_task(small_trace, task)
+
+    def test_missing_initializer_refused(self, small_trace):
+        from repro.exec import StaleWorkerTraceError
+        from repro.exec.engine import _solve_task_in_worker
+        from repro.exec.fingerprint import trace_fingerprint
+
+        self._cleanup()
+        task = SynthesisTask(config=CONFIG, window_size=600)
+        with pytest.raises(StaleWorkerTraceError):
+            _solve_task_in_worker(0, task, trace_fingerprint(small_trace))

@@ -138,3 +138,83 @@ class TestRobustness:
         assert list(cache.keys()) == [KEY_A]
         assert cache.clear() == 1
         assert list(cache.keys()) == []
+
+
+class TestGenericEntries:
+    """Per-stage JSON entries sharing the directory with results."""
+
+    def test_json_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_json(KEY_A, {"format": "x", "payload": {"n": 3}})
+        assert cache.get_json(KEY_A) == {"format": "x", "payload": {"n": 3}}
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_json_miss_and_corrupt_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get_json(KEY_A) is None
+        (tmp_path / f"{KEY_B}.json").write_bytes(b"\xff\xfe garbage")
+        assert cache.get_json(KEY_B) is None
+        assert cache.stats.invalid == 1
+
+    def test_json_rejects_malformed_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ReproError):
+            cache.get_json("../evil")
+
+
+class TestUsageAndPrune:
+    def test_usage_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.usage().entries == 0
+        cache.put(KEY_A, _result())
+        cache.put_json(KEY_B, {"x": 1})
+        usage = cache.usage()
+        assert usage.entries == 2
+        assert usage.total_bytes == sum(
+            (tmp_path / f"{k}.json").stat().st_size for k in (KEY_A, KEY_B)
+        )
+
+    def test_prune_noop_when_under_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        assert cache.prune(cache.usage().total_bytes) == 0
+        assert KEY_A in cache
+
+    def test_prune_evicts_least_recently_used(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        cache.put(KEY_B, _result())
+        # Age A far into the past, then touch it via a hit: the hit must
+        # refresh its recency so B (untouched, older access) goes first.
+        os.utime(tmp_path / f"{KEY_A}.json", (1, 1))
+        os.utime(tmp_path / f"{KEY_B}.json", (2, 2))
+        assert cache.get(KEY_A) is not None
+        one_entry = (tmp_path / f"{KEY_A}.json").stat().st_size
+        assert cache.prune(one_entry) == 1
+        assert KEY_A in cache
+        assert KEY_B not in cache
+
+    def test_prune_to_zero_empties_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        cache.put(KEY_B, _result())
+        assert cache.prune(0) == 2
+        assert cache.usage().entries == 0
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ReproError):
+            ResultCache(tmp_path).prune(-1)
+
+    def test_foreign_json_files_are_invisible(self, tmp_path):
+        """A stray 'report.v2.json' dropped into the directory must not
+        break usage()/prune()/clear() -- its stem is not a valid key."""
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, _result())
+        (tmp_path / "report.v2.json").write_text("{}", encoding="utf-8")
+        assert list(cache.keys()) == [KEY_A]
+        assert cache.usage().entries == 1
+        assert cache.prune(0) == 1
+        assert (tmp_path / "report.v2.json").exists()  # left untouched

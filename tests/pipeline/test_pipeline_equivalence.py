@@ -1,0 +1,152 @@
+"""The staged pipeline must reproduce the monolithic flow byte-for-byte.
+
+``_monolithic_design`` below is the pre-refactor
+``CrossbarSynthesizer.design_from_trace`` body, inlined verbatim against
+the core solver functions: windowing, conflict pre-processing, binary
+configuration search, binding optimization and the audit, with no
+pipeline, no artifact store and no memoization. Every test drives both
+implementations and compares the serialized outputs bytewise.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import build_application
+from repro.apps.synthetic import synthetic_trace
+from repro.core import SynthesisConfig
+from repro.core.binding import optimize_binding
+from repro.core.preprocess import build_conflicts
+from repro.core.problem import CrossbarDesignProblem
+from repro.core.search import search_minimum_buses
+from repro.core.spec import CrossbarDesign
+from repro.core.synthesis import CrossbarSynthesizer
+from repro.core.validate import audit_binding
+from repro.exec import result_to_dict
+from repro.exec.serialize import SynthesisResult
+from repro.scenarios import ScenarioSuiteRunner, build_suite
+
+
+def _monolithic_side(problem, config):
+    conflicts = build_conflicts(problem, config)
+    search = search_minimum_buses(problem, conflicts, config)
+    binding = optimize_binding(problem, conflicts, search.num_buses, config)
+    audit_binding(
+        problem,
+        conflicts,
+        binding.binding,
+        config.max_targets_per_bus,
+        raise_on_violation=True,
+    )
+    return conflicts, search, binding
+
+
+def _problem_for(trace, window, config):
+    if not config.variable_windows:
+        return CrossbarDesignProblem.from_trace(trace, window)
+    from repro.traffic.qos import phase_aligned_boundaries
+
+    boundaries = phase_aligned_boundaries(
+        trace,
+        min_window=max(1, window // config.variable_window_ratio),
+        max_window=window,
+    )
+    return CrossbarDesignProblem.from_trace_boundaries(trace, boundaries)
+
+
+def _monolithic_design(trace, window, config) -> SynthesisResult:
+    """The pre-refactor flow, end to end, as a portable result."""
+    it_problem = _problem_for(trace, window, config)
+    ti_problem = _problem_for(trace.mirrored(), window, config)
+    it_conflicts, it_search, it_binding = _monolithic_side(it_problem, config)
+    ti_conflicts, ti_search, ti_binding = _monolithic_side(ti_problem, config)
+    return SynthesisResult(
+        design=CrossbarDesign(it=it_binding, ti=ti_binding, label="windowed"),
+        window_size=it_problem.window_size,
+        config=config,
+        it_conflicts=it_conflicts.num_conflicts,
+        ti_conflicts=ti_conflicts.num_conflicts,
+        it_probes=dict(it_search.probes),
+        ti_probes=dict(ti_search.probes),
+    )
+
+
+def _result_bytes(result: SynthesisResult) -> bytes:
+    return json.dumps(result_to_dict(result), sort_keys=True).encode()
+
+
+def _assert_equivalent(trace, window, config):
+    staged = CrossbarSynthesizer(config).design_from_trace(trace, window)
+    reference = _monolithic_design(trace, window, config)
+    assert _result_bytes(staged.to_result()) == _result_bytes(reference)
+
+
+class TestSynthesisEquivalence:
+    @pytest.mark.parametrize("app_name", ["qsort", "mat1", "fft"])
+    def test_seed_apps_byte_identical(self, app_name):
+        app = build_application(app_name)
+        trace = app.simulate_full_crossbar().trace
+        _assert_equivalent(trace, app.default_window, SynthesisConfig())
+
+    def test_synthetic_byte_identical_across_configs(self):
+        trace = synthetic_trace(
+            burst_cycles=300, total_cycles=12_000, num_initiators=5,
+            num_targets=5, seed=7,
+        )
+        for config in (
+            SynthesisConfig(max_targets_per_bus=None),
+            SynthesisConfig(max_targets_per_bus=None, overlap_threshold=0.1),
+            SynthesisConfig(max_targets_per_bus=3, use_criticality=False),
+        ):
+            _assert_equivalent(trace, 600, config)
+
+    def test_variable_windows_byte_identical(self):
+        trace = synthetic_trace(
+            burst_cycles=300, total_cycles=12_000, num_initiators=5,
+            num_targets=5, seed=7,
+        )
+        config = SynthesisConfig(
+            max_targets_per_bus=None, variable_windows=True
+        )
+        _assert_equivalent(trace, 600, config)
+
+    def test_repeated_staged_designs_stay_identical(self):
+        """Memoized artifacts must not drift the output across calls."""
+        trace = synthetic_trace(
+            burst_cycles=300, total_cycles=12_000, num_initiators=5,
+            num_targets=5, seed=7,
+        )
+        synthesizer = CrossbarSynthesizer(
+            SynthesisConfig(max_targets_per_bus=None)
+        )
+        first = synthesizer.design_from_trace(trace, 600)
+        second = synthesizer.design_from_trace(trace, 600)
+        assert _result_bytes(first.to_result()) == _result_bytes(
+            second.to_result()
+        )
+
+
+class TestSuiteEquivalence:
+    def test_suite_reports_identical_across_fresh_runners(self):
+        """Two cold runners (no shared store) produce byte-identical
+        aggregated reports -- the staged flow is deterministic."""
+        suite = build_suite("smoke")
+        first = ScenarioSuiteRunner().run(suite)
+        second = ScenarioSuiteRunner().run(suite)
+        first_bytes = json.dumps(first.to_dict(), sort_keys=True).encode()
+        second_bytes = json.dumps(second.to_dict(), sort_keys=True).encode()
+        assert first_bytes == second_bytes
+
+    def test_suite_individuals_match_monolithic_flow(self):
+        """Each scenario's individual optimum equals the pre-refactor
+        per-scenario synthesis."""
+        suite = build_suite("smoke")
+        report = ScenarioSuiteRunner().run(suite)
+        for outcome in report.outcomes:
+            trace = outcome.scenario.build_trace()
+            reference = _monolithic_design(
+                trace,
+                outcome.window_size,
+                outcome.individual.config,
+            )
+            assert _result_bytes(outcome.individual) == _result_bytes(reference)

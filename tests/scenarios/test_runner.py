@@ -136,3 +136,42 @@ class TestPlatformMismatch:
         )
         with pytest.raises(ConfigurationError, match="platform shape"):
             ScenarioSuiteRunner().run(suite)
+
+
+class TestLatencyReplay:
+    """The optional validation stage: platform-simulator latency replay."""
+
+    def test_app_scenarios_report_latency(self):
+        suite = ScenarioSuite(
+            name="replay",
+            scenarios=(
+                Scenario(name="full", source="app:qsort"),
+                Scenario(name="light", source="app:qsort", load_scale=0.6),
+            ),
+        )
+        report = ScenarioSuiteRunner(replay_latency=True).run(suite)
+        full, light = report.outcomes
+        assert full.latency is not None
+        assert full.latency.count > 0
+        assert full.latency.mean > 0
+        # Thinned app traces have no faithful program-level replay; a
+        # full-load number would misreport the scaled scenario.
+        assert light.latency is None
+        assert "avg lat (cy)" in report.summary()
+        entries = report.to_dict()["scenarios"]
+        assert entries[0]["latency"]["mean"] > 0
+        assert "latency" not in entries[1]
+
+    def test_profile_scenarios_stay_none_under_replay(self):
+        report = ScenarioSuiteRunner(replay_latency=True).run(
+            build_suite("smoke")
+        )
+        assert all(outcome.latency is None for outcome in report.outcomes)
+        assert "avg lat (cy)" not in report.summary()
+
+    def test_latency_absent_by_default(self, smoke_report):
+        """Reports must stay byte-compatible when replay is off."""
+        assert all(outcome.latency is None for outcome in smoke_report.outcomes)
+        for entry in smoke_report.to_dict()["scenarios"]:
+            assert "latency" not in entry
+        assert "avg lat (cy)" not in smoke_report.summary()

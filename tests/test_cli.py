@@ -172,3 +172,63 @@ class TestEngineOptions:
     def test_negative_jobs_fails_cleanly(self, capsys):
         assert main(["sweep-window", "--jobs", "-3"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestPipelineCommands:
+    def test_pipeline_inspect(self, capsys):
+        assert main(["pipeline", "inspect", "qsort"]) == 0
+        out = capsys.readouterr().out
+        assert "stage artifacts for qsort" in out
+        for stage in ("collect", "window[it]", "conflicts[ti]", "bind[it]",
+                      "design"):
+            assert stage in out
+        assert "computed" in out
+
+    def test_pipeline_inspect_cache_dir_skips_solves(self, tmp_path, capsys):
+        from repro.core import SOLVE_COUNTER
+
+        argv = ["pipeline", "inspect", "qsort",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        SOLVE_COUNTER.reset()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert SOLVE_COUNTER.total == 0  # binding stages came from disk
+        assert "stage artifacts for qsort" in out
+
+    def test_pipeline_inspect_unknown_app_fails_cleanly(self, capsys):
+        assert main(["pipeline", "inspect", "doom"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCacheCommands:
+    def test_stats_and_prune(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["pipeline", "inspect", "qsort",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out  # the two persisted binding stages
+
+        assert main(["cache", "prune", cache_dir, "--max-bytes", "0"]) == 0
+        assert "pruned 2 entries" in capsys.readouterr().out
+
+        assert main(["cache", "stats", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+
+class TestScenarioPipelineFlags:
+    def test_explain_cache_prints_breakdown(self, capsys):
+        assert main(["scenarios", "run", "smoke", "--explain-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "staged-pipeline cache breakdown" in out
+        assert "bind-merged" in out
+        assert "individual-solve" in out
+
+    def test_replay_latency_adds_column_for_app_suites(self, capsys):
+        assert main(["scenarios", "run", "apps", "--replay-latency"]) == 0
+        out = capsys.readouterr().out
+        assert "avg lat (cy)" in out

@@ -1,0 +1,78 @@
+"""Latency-replay bench: cold vs warm replay of the mixed suite.
+
+The cold phase runs the ``mixed`` suite with ``replay_latency=True`` on
+a fresh :class:`ScenarioSuiteRunner`: every scenario's trace replays
+through the platform simulator on the robust design (the mixed suite is
+all profile-backed, so every replay takes the trace-driven path). The
+*same* runner then re-runs the suite -- the timed kernel -- and every
+replay must come back from the pipeline's replay-artifact store.
+
+This bench doubles as the CI gate for replay caching: it asserts the
+warm run performs **zero** fabric simulations (the platform-level
+:data:`~repro.platform.soc.SIMULATION_COUNTER`) and still produces a
+report byte-identical to the cold run.
+"""
+
+import json
+import time
+
+from repro.platform import SIMULATION_COUNTER
+from repro.scenarios import ScenarioSuiteRunner, build_suite
+
+from _bench_utils import emit
+
+
+def test_replay_suite_warm(benchmark, results_dir):
+    suite = build_suite("mixed")
+    runner = ScenarioSuiteRunner(replay_latency=True)
+
+    SIMULATION_COUNTER.reset()
+    cold_begin = time.perf_counter()
+    cold_report = runner.run(suite)
+    cold_seconds = time.perf_counter() - cold_begin
+    cold_sims = SIMULATION_COUNTER.runs
+    assert cold_sims >= len(suite)  # one replay per scenario (plus none hidden)
+
+    SIMULATION_COUNTER.reset()
+    warm_report = benchmark.pedantic(
+        lambda: runner.run(suite), rounds=1, iterations=1
+    )
+    warm_sims = SIMULATION_COUNTER.runs
+
+    # CI gate: a warm replay re-simulates nothing...
+    assert warm_sims == 0
+
+    # ... and reproduces the cold report byte for byte.
+    cold_bytes = json.dumps(cold_report.to_dict(), sort_keys=True)
+    warm_bytes = json.dumps(warm_report.to_dict(), sort_keys=True)
+    assert warm_bytes == cold_bytes
+
+    warm_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["cold_simulations"] = cold_sims
+    benchmark.extra_info["warm_simulations"] = warm_sims
+    benchmark.extra_info["warm_vs_cold_speedup"] = (
+        round(cold_seconds / warm_seconds, 2) if warm_seconds else None
+    )
+
+    latency_rows = "\n".join(
+        f"  {outcome.scenario.name:<22} "
+        f"{outcome.latency.mean:8.1f} cy over {outcome.latency.count} packets"
+        for outcome in warm_report.outcomes
+    )
+    emit(
+        results_dir,
+        "replay_suite",
+        "\n".join(
+            [
+                "latency replay of the mixed suite (trace-driven drivers)",
+                f"  cold run : {cold_sims} fabric simulations, "
+                f"{cold_seconds:.3f}s",
+                f"  warm run : {warm_sims} fabric simulations, "
+                f"{warm_seconds:.3f}s",
+                "",
+                "replayed latency of the robust design:",
+                latency_rows,
+            ]
+        ),
+    )

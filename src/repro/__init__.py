@@ -40,7 +40,16 @@ from repro.exec import (
 )
 from repro.core.multi import RobustSynthesisReport, RobustSynthesizer
 from repro.pipeline import ArtifactStore, PipelineRunner
-from repro.platform import SimulationResult, SoC, SoCConfig, TimingModel
+from repro.platform import (
+    ProgramDriver,
+    SimulationResult,
+    SoC,
+    SoCConfig,
+    TimingModel,
+    TraceDrivenInitiator,
+    WorkloadDriver,
+    simulate_workload,
+)
 from repro.scenarios import (
     Scenario,
     ScenarioSuite,
@@ -73,6 +82,11 @@ __all__ = [
     "SoCConfig",
     "SimulationResult",
     "TimingModel",
+    # workload drivers
+    "WorkloadDriver",
+    "ProgramDriver",
+    "TraceDrivenInitiator",
+    "simulate_workload",
     # traffic
     "TrafficTrace",
     "WindowedTraffic",

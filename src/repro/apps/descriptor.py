@@ -16,8 +16,9 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence, Tuple
 
 from repro.errors import ApplicationError
+from repro.platform.drivers import ProgramDriver, simulate_workload
 from repro.platform.initiator import Operation
-from repro.platform.soc import SimulationResult, SoC, SoCConfig
+from repro.platform.soc import SimulationResult, SoCConfig
 from repro.platform.fabric import full_crossbar_binding, shared_bus_binding
 from repro.platform.target import TargetConfig, TargetKind
 
@@ -122,6 +123,24 @@ class Application:
         """Fresh program iterators, one per initiator."""
         return [builder() for builder in self.program_builders]
 
+    def driver(self, source_key: Optional[str] = None) -> ProgramDriver:
+        """This application as a program-driven workload driver.
+
+        ``source_key`` overrides the content key used for replay
+        caching; default registry builds derive ``app:<name>`` from
+        their ``registry_key``, customized builds stay unkeyed (their
+        replays are never cached).
+        """
+        if source_key is None and self.registry_key is not None:
+            source_key = f"app:{self.registry_key}"
+        return ProgramDriver(
+            config=self.config,
+            program_builders=self.program_builders,
+            sim_cycles=self.sim_cycles,
+            label=self.name,
+            source_key=source_key,
+        )
+
     def simulate(
         self,
         it_binding: Sequence[int],
@@ -129,8 +148,9 @@ class Application:
         max_cycles: Optional[int] = None,
     ) -> SimulationResult:
         """Simulate this application on the given crossbar bindings."""
-        soc = SoC(self.config, it_binding, ti_binding, self.build_programs())
-        return soc.run(max_cycles or self.sim_cycles)
+        return simulate_workload(
+            self.driver(), it_binding, ti_binding, max_cycles
+        )
 
     def simulate_full_crossbar(
         self, max_cycles: Optional[int] = None

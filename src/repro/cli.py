@@ -12,6 +12,7 @@ The CLI wraps the library's main entry points for quick exploration::
     python -m repro scenarios run smoke --replay-latency --explain-cache
     python -m repro scenarios export mixed -o mixed.json
     python -m repro pipeline inspect mat2 --cache-dir .cache
+    python -m repro pipeline inspect mixed --cache-dir .cache
     python -m repro cache stats .cache
     python -m repro cache prune .cache --max-bytes 1000000
 
@@ -203,7 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--replay-latency", action="store_true",
         help="also replay the robust design through the platform "
-        "simulator for app-backed scenarios and report average latency",
+        "simulator for every scenario (live programs for full-load "
+        "app scenarios, trace-driven replay for profile-backed, "
+        "load-scaled and thinned ones) and report average latency",
     )
     run.add_argument(
         "--explain-cache", action="store_true",
@@ -225,10 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
                                            required=True)
     inspect = pipeline_sub.add_parser(
         "inspect",
-        help="run the staged flow on an application and print every "
-        "stage artifact with its content-addressed fingerprint",
+        help="run the staged flow on an application or a scenario suite "
+        "and print every stage artifact with its content-addressed "
+        "fingerprint (suites get the per-scenario DAG, including the "
+        "latency-replay stage)",
     )
-    inspect.add_argument("app", help="application name (see 'list')")
+    inspect.add_argument(
+        "app",
+        help="application name (see 'list'), built-in suite name "
+        "(see 'scenarios list') or a suite JSON file",
+    )
     inspect.add_argument(
         "--window", type=int, default=None,
         help="analysis window in cycles (default: app-specific)",
@@ -499,10 +508,60 @@ def _cmd_scenarios_export(args) -> int:
     return 0
 
 
+def _cmd_pipeline_inspect_suite(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.scenarios import ScenarioSuiteRunner
+
+    if args.window is not None:
+        raise ConfigurationError(
+            "--window applies to single-application inspection only; "
+            "suite scenarios carry their own analysis windows "
+            "(edit the suite's window_size fields instead)"
+        )
+    suite = _resolve_suite(args.app)
+    engine = ExecutionEngine(jobs=1, cache=args.cache_dir)
+    config = SynthesisConfig(
+        overlap_threshold=args.threshold,
+        max_targets_per_bus=args.maxtb or None,
+        backend=args.backend,
+    )
+    # Replay is part of the suite's stage DAG: inspect always runs it so
+    # the replay stage rows (and their cache behaviour) are visible.
+    runner = ScenarioSuiteRunner(
+        engine=engine, config=config, replay_latency=True
+    )
+    print(
+        f"running the staged suite flow for '{suite.name}' "
+        f"({len(suite)} scenarios, with latency replay) ..."
+    )
+    runner.run(suite)
+    rows = [
+        [scenario, stage, fingerprint[:12], summary]
+        for scenario, stage, fingerprint, summary in runner.last_stage_rows
+    ]
+    print(
+        format_table(
+            ["scenario", "stage", "fingerprint", "artifact"],
+            rows,
+            title=f"per-scenario stage DAG for suite '{suite.name}'",
+        )
+    )
+    print()
+    print(runner.pipeline.counters.breakdown())
+    return 0
+
+
 def _cmd_pipeline_inspect(args) -> int:
+    from pathlib import Path
+
     from repro.exec.cache import ResultCache
     from repro.pipeline import ArtifactStore, PipelineRunner, describe_stages
+    from repro.scenarios import SUITES
 
+    if args.app not in APPLICATIONS and (
+        args.app in SUITES or Path(args.app).exists()
+    ):
+        return _cmd_pipeline_inspect_suite(args)
     app = build_application(args.app)
     config = _config_from_args(args)
     disk = ResultCache(args.cache_dir) if args.cache_dir else None

@@ -32,7 +32,7 @@ Merge policies
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -234,6 +234,10 @@ class RobustSideReport:
     search: SearchOutcome
     binding: BusBinding
     scenario_checks: Tuple[ScenarioSideCheck, ...]
+    stage_fingerprint: str = ""
+    """Content fingerprint of the ``bind-merged`` pipeline stage that
+    produced this side's solve (set by :meth:`design_from_artifacts`;
+    empty when the solve did not run through the pipeline)."""
 
     @property
     def worst_case_overlap(self) -> int:
@@ -388,24 +392,35 @@ class RobustSynthesizer:
                 c.fingerprint for c in conflict_artifacts
             ]
             merge_spec = self._merge_spec(weights)
+            solved_fingerprints: List[str] = []
 
-            def solver(problem, conflicts, _upstream=upstream, _spec=merge_spec):
+            def solver(
+                problem,
+                conflicts,
+                _upstream=upstream,
+                _spec=merge_spec,
+                _solved=solved_fingerprints,
+            ):
                 artifact = pipeline.bind_merged(
                     problem, conflicts, self.config, _upstream, _spec
                 )
+                _solved.append(artifact.fingerprint)
                 return artifact.search, artifact.binding
 
-            reports.append(
-                self._design_side(
-                    [w.problem for w in windows],
-                    names,
-                    weights,
-                    per_scenario_conflicts=[
-                        c.conflicts for c in conflict_artifacts
-                    ],
-                    solver=solver,
-                )
+            report = self._design_side(
+                [w.problem for w in windows],
+                names,
+                weights,
+                per_scenario_conflicts=[
+                    c.conflicts for c in conflict_artifacts
+                ],
+                solver=solver,
             )
+            if solved_fingerprints:
+                report = replace(
+                    report, stage_fingerprint=solved_fingerprints[-1]
+                )
+            reports.append(report)
         return self._assemble(reports[0], reports[1], names)
 
     def _merge_spec(self, weights: Optional[Sequence[float]]) -> dict:

@@ -19,6 +19,8 @@ from repro.exec.cache import CacheStats, CacheUsage, ResultCache
 from repro.exec.engine import (
     EvaluationOutcome,
     ExecutionEngine,
+    ReplayOutcome,
+    ReplayTask,
     StaleWorkerTraceError,
     SynthesisTask,
 )
@@ -38,6 +40,8 @@ __all__ = [
     "ExecutionEngine",
     "SynthesisTask",
     "EvaluationOutcome",
+    "ReplayTask",
+    "ReplayOutcome",
     "ResultCache",
     "CacheStats",
     "CacheUsage",

@@ -197,24 +197,39 @@ class ResultCache:
                 continue
             yield entry.stem
 
+    def _entry_files(self):
+        """Every managed file: ``.json`` entries plus ``.npz`` tensor
+        sidecars (see :meth:`repro.pipeline.store.ArtifactStore.put_arrays`),
+        with the same foreign-file filtering as :meth:`keys`."""
+        if not self.cache_dir.is_dir():
+            return
+        for pattern in ("*.json", "*.npz"):
+            for entry in sorted(self.cache_dir.glob(pattern)):
+                if entry.name.startswith("."):
+                    continue
+                if any(ch in entry.stem for ch in "/\\."):
+                    continue
+                yield entry
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (JSON and ``.npz`` sidecars); returns the
+        number of files removed."""
         removed = 0
-        for key in list(self.keys()):
+        for path in list(self._entry_files()):
             try:
-                self._path(key).unlink()
+                path.unlink()
                 removed += 1
             except OSError:
                 pass
         return removed
 
     def usage(self) -> CacheUsage:
-        """Entry count and total bytes currently on disk."""
+        """Entry/sidecar count and total bytes currently on disk."""
         entries = 0
         total = 0
-        for key in self.keys():
+        for path in self._entry_files():
             try:
-                total += self._path(key).stat().st_size
+                total += path.stat().st_size
                 entries += 1
             except OSError:
                 pass
@@ -223,28 +238,29 @@ class ResultCache:
     def prune(self, max_bytes: int) -> int:
         """Evict least-recently-used entries until the cache fits.
 
-        Entries are removed oldest-mtime-first (hits refresh mtime, so
-        recently-used entries survive) until the remaining footprint is
-        at most ``max_bytes``. Returns the number of entries removed.
+        Entries (JSON and ``.npz`` sidecars alike) are removed
+        oldest-mtime-first (hits refresh mtime, so recently-used entries
+        survive) until the remaining footprint is at most ``max_bytes``.
+        Returns the number of files removed.
         """
         if max_bytes < 0:
             raise ReproError(f"max_bytes must be >= 0, got {max_bytes}")
         aged = []
         total = 0
-        for key in self.keys():
+        for path in self._entry_files():
             try:
-                stat = self._path(key).stat()
+                stat = path.stat()
             except OSError:
                 continue
-            aged.append((stat.st_mtime, key, stat.st_size))
+            aged.append((stat.st_mtime, str(path), path, stat.st_size))
             total += stat.st_size
-        aged.sort()
+        aged.sort(key=lambda item: (item[0], item[1]))
         removed = 0
-        for _mtime, key, size in aged:
+        for _mtime, _name, path, size in aged:
             if total <= max_bytes:
                 break
             try:
-                self._path(key).unlink()
+                path.unlink()
             except OSError:
                 continue
             total -= size

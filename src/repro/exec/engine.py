@@ -43,13 +43,17 @@ from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache
 from repro.exec.fingerprint import task_key, trace_fingerprint
 from repro.exec.serialize import SynthesisResult
+from repro.platform.drivers import TraceDrivenInitiator, simulate_workload
 from repro.platform.metrics import LatencyStats
+from repro.platform.soc import SoCConfig
 from repro.traffic.kernels import warm_analytics
 from repro.traffic.trace import TrafficTrace
 
 __all__ = [
     "SynthesisTask",
     "EvaluationOutcome",
+    "ReplayTask",
+    "ReplayOutcome",
     "ExecutionEngine",
     "StaleWorkerTraceError",
 ]
@@ -82,6 +86,80 @@ class EvaluationOutcome:
     stats: LatencyStats
     critical_stats: LatencyStats
     finished: bool
+
+
+@dataclass(frozen=True)
+class ReplayTask:
+    """One latency-replay simulation: a workload on a candidate fabric.
+
+    Replay tasks are *portable* workload descriptions -- everything a
+    pool worker needs to rebuild the driver on its side:
+
+    * trace-driven -- ``trace`` (the recorded workload) plus an optional
+      ``platform`` (defaults to the generic replay platform derived from
+      the trace's shape);
+    * program-driven -- ``app_name`` + ``app_params``, rebuilt through
+      the application registry (builders are deterministic, so the
+      rebuilt programs match the parent's exactly).
+    """
+
+    it_binding: Tuple[int, ...]
+    ti_binding: Tuple[int, ...]
+    budget: int
+    trace: Optional[TrafficTrace] = None
+    platform: Optional[SoCConfig] = None
+    app_name: Optional[str] = None
+    app_params: Tuple[Tuple[str, object], ...] = ()
+    pace: bool = True
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.trace is None) == (self.app_name is None):
+            raise ConfigurationError(
+                "a replay task carries exactly one workload: a recorded "
+                "trace or an application name"
+            )
+        if self.budget < 1:
+            raise ConfigurationError(f"replay budget must be >= 1, got {self.budget}")
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """One replay's simulated behaviour, as returned by pool workers."""
+
+    label: str
+    stats: LatencyStats
+    critical_stats: LatencyStats
+    finished: bool
+    num_transactions: int
+    simulated_cycles: int
+
+
+def _run_replay_task(task: ReplayTask) -> ReplayOutcome:
+    """Execute one replay task (serial path and pool workers alike)."""
+    if task.trace is not None:
+        driver = TraceDrivenInitiator(
+            task.trace, config=task.platform, pace=task.pace, label=task.label
+        )
+    else:
+        from repro.apps import build_application
+
+        driver = build_application(task.app_name, **dict(task.app_params)).driver()
+    result = simulate_workload(
+        driver, list(task.it_binding), list(task.ti_binding), task.budget
+    )
+    return ReplayOutcome(
+        label=task.label,
+        stats=result.latency_stats(),
+        critical_stats=result.latency_stats(critical_only=True),
+        finished=result.finished,
+        num_transactions=len(result.trace),
+        simulated_cycles=result.simulated_cycles,
+    )
+
+
+def _replay_in_worker(index: int, task: ReplayTask) -> Tuple[int, ReplayOutcome]:
+    return index, _run_replay_task(task)
 
 
 class StaleWorkerTraceError(RuntimeError):
@@ -421,6 +499,42 @@ class ExecutionEngine:
                 index, result = future.result()
                 by_index[index] = result
         return [by_index[index] for index in range(len(items))]
+
+    # -- latency replays ----------------------------------------------
+
+    def run_replay_batch(self, tasks: Sequence[ReplayTask]) -> List[ReplayOutcome]:
+        """Simulate every replay task, in task order.
+
+        The scenario-suite pattern again: each suite member contributes
+        one workload (a recorded trace or a program source) to replay on
+        the shared candidate fabric. Tasks fan out over the pool --
+        replay simulations are independent and each task is a portable
+        workload description -- and any pool infrastructure failure
+        degrades to the serial path, so outcomes are deterministic
+        whatever the job count. Caching lives one layer up, in the
+        pipeline's replay stage (the engine is handed only the misses).
+        """
+        if self.jobs > 1 and len(tasks) > 1:
+            try:
+                return self._run_replays_parallel(tasks)
+            except (BrokenProcessPool, OSError):
+                pass  # pool infrastructure failure: degrade to serial
+        return [_run_replay_task(task) for task in tasks]
+
+    def _run_replays_parallel(self, tasks: Sequence[ReplayTask]) -> List[ReplayOutcome]:
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(_replay_in_worker, index, task)
+                for index, task in enumerate(tasks)
+            ]
+            by_index: Dict[int, ReplayOutcome] = {}
+            for future in futures:
+                index, outcome = future.result()
+                by_index[index] = outcome
+        return [by_index[index] for index in range(len(tasks))]
 
     # -- evaluation ---------------------------------------------------
 

@@ -19,7 +19,7 @@ from repro.pipeline.artifacts import (
     BindingArtifact,
     CollectedTraffic,
     ConflictArtifact,
-    ValidatedDesign,
+    ReplayArtifact,
     WindowedAnalysis,
     stage_fingerprint,
 )
@@ -39,7 +39,7 @@ __all__ = [
     "WindowedAnalysis",
     "ConflictArtifact",
     "BindingArtifact",
-    "ValidatedDesign",
+    "ReplayArtifact",
     "stage_fingerprint",
     "PipelineRunner",
     "PipelineDesign",

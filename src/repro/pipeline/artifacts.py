@@ -25,7 +25,7 @@ The artifact types mirror the paper's stages one-to-one:
 :class:`WindowedAnalysis`   Phase 2 -- one side's windowed design problem
 :class:`ConflictArtifact`   Phase 3 -- the conflict matrix
 :class:`BindingArtifact`    Phase 4 -- configuration search + binding
-:class:`ValidatedDesign`    Phase 4' -- the design replayed in simulation
+:class:`ReplayArtifact`     Phase 4' -- a workload replayed on the design
 =====================  ==============================================
 """
 
@@ -48,11 +48,12 @@ __all__ = [
     "window_stage_spec",
     "conflict_stage_spec",
     "binding_stage_spec",
+    "replay_stage_spec",
     "CollectedTraffic",
     "WindowedAnalysis",
     "ConflictArtifact",
     "BindingArtifact",
-    "ValidatedDesign",
+    "ReplayArtifact",
 ]
 
 STAGE_SCHEMA_VERSION = 1
@@ -103,6 +104,25 @@ def binding_stage_spec(config: SynthesisConfig) -> Dict[str, Any]:
         "lp_engine": config.lp_engine,
         "max_targets_per_bus": config.max_targets_per_bus,
         "node_limit": config.node_limit,
+    }
+
+
+def replay_stage_spec(
+    workload_key: Dict[str, Any], design: CrossbarDesign, budget: int
+) -> Dict[str, Any]:
+    """What determines a latency replay: workload + fabric + budget.
+
+    ``workload_key`` is the driver's content key
+    (:meth:`repro.platform.drivers.WorkloadDriver.workload_key`), which
+    covers the stimulus *and* the platform it runs on; the design enters
+    through its raw bindings so equal fabrics share replays whatever
+    their labels.
+    """
+    return {
+        "workload": workload_key,
+        "it": list(design.it.binding),
+        "ti": list(design.ti.binding),
+        "budget": int(budget),
     }
 
 
@@ -214,21 +234,78 @@ class BindingArtifact:
         return cls(search=search, binding=binding, fingerprint=fingerprint)
 
 
-@dataclass(frozen=True)
-class ValidatedDesign:
-    """Validation-stage output: a design replayed through the platform
-    simulator, with the observed packet-latency statistics."""
+def _stats_payload(stats: LatencyStats) -> Dict[str, Any]:
+    return {
+        "count": stats.count,
+        "mean": stats.mean,
+        "maximum": stats.maximum,
+        "minimum": stats.minimum,
+        "p95": stats.p95,
+    }
 
-    design: CrossbarDesign
+
+def _stats_from_payload(payload: Dict[str, Any]) -> LatencyStats:
+    return LatencyStats(
+        count=int(payload["count"]),
+        mean=float(payload["mean"]),
+        maximum=int(payload["maximum"]),
+        minimum=int(payload["minimum"]),
+        p95=float(payload["p95"]),
+    )
+
+
+@dataclass(frozen=True)
+class ReplayArtifact:
+    """Latency-replay stage output: one workload simulated on one fabric.
+
+    The artifact carries only the observed statistics -- never the live
+    design or trace objects -- so it round-trips through JSON and
+    persists in the artifact store's disk layer: suite re-runs and
+    cross-process reruns reuse simulated latencies instead of
+    re-simulating.
+    """
+
     stats: LatencyStats
     critical_stats: LatencyStats
     finished: bool
+    num_transactions: int
+    simulated_cycles: int
     fingerprint: str
     label: str = ""
 
     def describe(self) -> str:
         mean = self.stats.mean if self.stats.count else 0.0
         return (
-            f"{self.design.bus_count} buses, avg latency {mean:.1f} cy, "
+            f"{self.num_transactions} packets, avg latency {mean:.1f} cy, "
             f"{'finished' if self.finished else 'budget-capped'}"
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready encoding for the persistent stage store."""
+        return {
+            "stats": _stats_payload(self.stats),
+            "critical_stats": _stats_payload(self.critical_stats),
+            "finished": self.finished,
+            "num_transactions": self.num_transactions,
+            "simulated_cycles": self.simulated_cycles,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], fingerprint: str
+    ) -> "ReplayArtifact":
+        """Decode a payload written by :meth:`to_payload`.
+
+        Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+        payloads; the store treats those as misses.
+        """
+        return cls(
+            stats=_stats_from_payload(payload["stats"]),
+            critical_stats=_stats_from_payload(payload["critical_stats"]),
+            finished=bool(payload["finished"]),
+            num_transactions=int(payload["num_transactions"]),
+            simulated_cycles=int(payload["simulated_cycles"]),
+            fingerprint=fingerprint,
+            label=str(payload.get("label", "")),
         )

@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.core.binding import optimize_binding
 from repro.core.preprocess import ConflictAnalysis, build_conflicts
 from repro.core.problem import CrossbarDesignProblem
@@ -48,15 +50,19 @@ from repro.pipeline.artifacts import (
     BindingArtifact,
     CollectedTraffic,
     ConflictArtifact,
-    ValidatedDesign,
+    ReplayArtifact,
     WindowedAnalysis,
     binding_stage_spec,
     conflict_stage_spec,
+    replay_stage_spec,
     stage_fingerprint,
     window_stage_spec,
 )
+from repro.errors import ConfigurationError, SynthesisError
 from repro.pipeline.store import ArtifactStore
+from repro.platform.drivers import WorkloadDriver, simulate_workload
 from repro.profiling import track_phase
+from repro.traffic.criticality import CriticalityReport
 from repro.traffic.trace import TrafficTrace
 
 __all__ = [
@@ -177,19 +183,35 @@ class PipelineRunner:
 
         ``mirrored=True`` is the target->initiator side, analyzed on the
         mirrored trace per the paper's "designed in a similar fashion".
+
+        When the store has a disk layer, the windowed tensors persist as
+        a compressed ``.npz`` sidecar: another process re-analyzing the
+        same trace rebuilds the design problem straight from the arrays
+        without re-windowing (or even holding) the trace.
         """
         spec = window_stage_spec(config, window_size, mirrored)
         fingerprint = stage_fingerprint("window", collected.fingerprint, spec)
-
-        def compute() -> WindowedAnalysis:
-            trace = collected.trace.mirrored() if mirrored else collected.trace
-            return WindowedAnalysis(
-                problem=self._problem_for(trace, window_size, config),
-                mirrored=mirrored,
-                fingerprint=fingerprint,
-            )
-
-        return self.memoized("window", fingerprint, compute)
+        cached = self.store.get(fingerprint)
+        if cached is not None:
+            self.counters.record_memo_hit("window")
+            return cached
+        arrays = self.store.get_arrays(fingerprint)
+        if arrays is not None:
+            artifact = _window_from_arrays(arrays, fingerprint, mirrored)
+            if artifact is not None:
+                self.counters.record_disk_hit("window")
+                self.store.put(fingerprint, artifact)
+                return artifact
+        self.counters.record_computed("window")
+        trace = collected.trace.mirrored() if mirrored else collected.trace
+        artifact = WindowedAnalysis(
+            problem=self._problem_for(trace, window_size, config),
+            mirrored=mirrored,
+            fingerprint=fingerprint,
+        )
+        self.store.put(fingerprint, artifact)
+        self.store.put_arrays(fingerprint, _window_arrays(artifact))
+        return artifact
 
     @staticmethod
     def _problem_for(
@@ -357,48 +379,157 @@ class PipelineRunner:
             fingerprint=fingerprint,
         )
 
-    # -- validation stage ---------------------------------------------
+    # -- latency-replay stage ------------------------------------------
 
-    def validate(
+    def replay_fingerprint(
         self,
-        application,
+        driver: WorkloadDriver,
         design: CrossbarDesign,
-        max_cycles: int,
-        source_key: str,
-        label: str = "",
-    ) -> ValidatedDesign:
-        """Replay a design through the platform simulator.
-
-        ``source_key`` must determine the application's workload (e.g.
-        ``"app:qsort"`` plus its build parameters encoded by the caller):
-        it keys the memo together with the bindings and cycle budget.
-        Memory-only -- simulation results are cheap to keep and awkward
-        to serialize faithfully.
-        """
-        fingerprint = stage_fingerprint(
-            "validate",
-            None,
-            {
-                "source": source_key,
-                "it": list(design.it.binding),
-                "ti": list(design.ti.binding),
-                "budget": int(max_cycles),
-            },
+        max_cycles: Optional[int] = None,
+    ) -> Optional[str]:
+        """The replay stage's content fingerprint, or ``None`` when the
+        workload cannot be content-addressed (unkeyed program drivers)."""
+        budget = int(max_cycles or driver.sim_cycles)
+        try:
+            workload_key = driver.workload_key()
+        except ConfigurationError:
+            return None
+        return stage_fingerprint(
+            "replay", None, replay_stage_spec(workload_key, design, budget)
         )
-        def compute() -> ValidatedDesign:
-            result = application.simulate(
-                design.it.as_list(), design.ti.as_list(), max_cycles
-            )
-            return ValidatedDesign(
-                design=design,
-                stats=result.latency_stats(),
-                critical_stats=result.latency_stats(critical_only=True),
-                finished=result.finished,
-                fingerprint=fingerprint,
-                label=label or source_key,
-            )
 
-        return self.memoized("validate", fingerprint, compute)
+    def lookup_replay(self, fingerprint: str) -> Optional[ReplayArtifact]:
+        """A cached replay artifact from either store layer, or ``None``
+        (tallied as a memo/disk hit when found)."""
+        cached = self.store.get(fingerprint)
+        if cached is not None:
+            self.counters.record_memo_hit("replay")
+            return cached
+        payload = self.store.get_payload(fingerprint)
+        if payload is not None:
+            try:
+                artifact = ReplayArtifact.from_payload(payload, fingerprint)
+            except (KeyError, TypeError, ValueError):
+                pass  # malformed persisted stage entry: re-simulate
+            else:
+                self.counters.record_disk_hit("replay")
+                self.store.put(fingerprint, artifact)
+                return artifact
+        return None
+
+    def record_replay(self, artifact: ReplayArtifact) -> None:
+        """Account and store a replay computed outside this runner (the
+        execution engine's batched replay path lands here)."""
+        self.counters.record_computed("replay")
+        if artifact.fingerprint:
+            self.store.put(artifact.fingerprint, artifact)
+            self.store.put_payload(artifact.fingerprint, artifact.to_payload())
+
+    def replay(
+        self,
+        driver: WorkloadDriver,
+        design: CrossbarDesign,
+        max_cycles: Optional[int] = None,
+        label: str = "",
+    ) -> ReplayArtifact:
+        """Simulate a workload on a candidate fabric, as a cached stage.
+
+        Any :class:`~repro.platform.drivers.WorkloadDriver` replays:
+        program-driven applications and trace-driven recorded workloads
+        take the same path and share the same store. Content-addressed
+        replays persist through the disk layer; unkeyed workloads are
+        simulated but never cached.
+        """
+        budget = int(max_cycles or driver.sim_cycles)
+        fingerprint = self.replay_fingerprint(driver, design, budget)
+        if fingerprint is not None:
+            cached = self.lookup_replay(fingerprint)
+            if cached is not None:
+                return cached
+        self.counters.record_computed("replay")
+        artifact = _run_replay(
+            driver, design, budget, fingerprint or "", label
+        )
+        if fingerprint is not None:
+            self.store.put(fingerprint, artifact)
+            self.store.put_payload(fingerprint, artifact.to_payload())
+        return artifact
+
+
+def _run_replay(
+    driver: WorkloadDriver,
+    design: CrossbarDesign,
+    budget: int,
+    fingerprint: str,
+    label: str = "",
+) -> ReplayArtifact:
+    """Execute one replay simulation and distill the artifact."""
+    result = simulate_workload(
+        driver, design.it.as_list(), design.ti.as_list(), budget
+    )
+    return ReplayArtifact(
+        stats=result.latency_stats(),
+        critical_stats=result.latency_stats(critical_only=True),
+        finished=result.finished,
+        num_transactions=len(result.trace),
+        simulated_cycles=result.simulated_cycles,
+        fingerprint=fingerprint,
+        label=label or driver.label,
+    )
+
+
+def _window_arrays(artifact: WindowedAnalysis) -> Dict[str, np.ndarray]:
+    """Encode a windowed analysis as plain tensors for the npz sidecar."""
+    problem = artifact.problem
+    pairs = np.asarray(
+        problem.criticality.conflicting_pairs, dtype=np.int64
+    ).reshape(-1, 2)
+    return {
+        "comm": np.asarray(problem.comm, dtype=np.int64),
+        "wo": np.asarray(problem.wo, dtype=np.int64),
+        "capacities": np.asarray(problem.capacities, dtype=np.int64),
+        "window_size": np.asarray([problem.window_size], dtype=np.int64),
+        "mirrored": np.asarray([int(artifact.mirrored)], dtype=np.int64),
+        "critical_targets": np.asarray(
+            problem.criticality.critical_targets, dtype=np.int64
+        ),
+        "conflicting_pairs": pairs,
+        "target_names": np.asarray(problem.target_names, dtype=np.str_),
+    }
+
+
+def _window_from_arrays(
+    arrays: Dict[str, np.ndarray], fingerprint: str, mirrored: bool
+) -> Optional[WindowedAnalysis]:
+    """Rebuild a windowed analysis from a sidecar, or ``None`` when the
+    arrays are malformed or belong to the other crossbar side."""
+    try:
+        if int(arrays["mirrored"][0]) != int(mirrored):
+            return None
+        criticality = CriticalityReport(
+            critical_targets=tuple(
+                int(target) for target in arrays["critical_targets"]
+            ),
+            conflicting_pairs=tuple(
+                (int(i), int(j))
+                for i, j in np.asarray(arrays["conflicting_pairs"]).reshape(
+                    -1, 2
+                )
+            ),
+        )
+        problem = CrossbarDesignProblem(
+            comm=np.asarray(arrays["comm"], dtype=np.int64),
+            wo=np.asarray(arrays["wo"], dtype=np.int64),
+            window_size=int(arrays["window_size"][0]),
+            criticality=criticality,
+            target_names=tuple(str(name) for name in arrays["target_names"]),
+            capacities=np.asarray(arrays["capacities"], dtype=np.int64),
+        )
+    except (KeyError, IndexError, TypeError, ValueError, SynthesisError):
+        return None
+    return WindowedAnalysis(
+        problem=problem, mirrored=mirrored, fingerprint=fingerprint
+    )
 
 
 _SHARED_RUNNER: Optional[PipelineRunner] = None

@@ -24,8 +24,12 @@ what ``repro scenarios run --explain-cache`` prints.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
 
 from repro.exec.cache import ResultCache
 
@@ -207,6 +211,59 @@ class ArtifactStore:
             self._disk_key(fingerprint),
             {"format": STAGE_ENTRY_FORMAT, "payload": payload},
         )
+
+    # -- tensor sidecars ----------------------------------------------
+
+    def _sidecar_path(self, fingerprint: str):
+        return self.disk.cache_dir / f"{self._disk_key(fingerprint)}.npz"
+
+    def get_arrays(self, fingerprint: str) -> Optional[Dict[str, np.ndarray]]:
+        """A persisted ``.npz`` tensor sidecar, or ``None`` on a miss.
+
+        Tensor-heavy stages (the windowed ``comm``/``wo`` analysis)
+        persist as compressed NumPy archives next to the JSON entries:
+        far denser than JSON and loadable without rebuilding the trace.
+        Unreadable or truncated sidecars degrade to misses, exactly like
+        corrupt JSON entries.
+        """
+        if self.disk is None:
+            return None
+        path = self._sidecar_path(fingerprint)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, EOFError):
+            return None  # corrupt sidecar: recompute and overwrite
+        try:
+            os.utime(path)  # keep LRU pruning honest on sidecar hits
+        except OSError:  # pragma: no cover - best-effort bookkeeping
+            pass
+        return arrays
+
+    def put_arrays(
+        self, fingerprint: str, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Persist tensors as a compressed ``.npz`` sidecar atomically
+        (no-op without a disk layer)."""
+        if self.disk is None:
+            return
+        path = self._sidecar_path(fingerprint)
+        self.disk.cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.disk.cache_dir, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         disk = self.disk.cache_dir if self.disk is not None else None

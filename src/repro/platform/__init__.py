@@ -12,6 +12,9 @@ An event-driven, cycle-resolved model of an STbus-interconnected MPSoC:
   targets,
 * :mod:`~repro.platform.initiator` -- programmable initiators and the
   workload operation vocabulary (compute, read, write, lock, barrier),
+* :mod:`~repro.platform.drivers` -- pluggable workload drivers: the
+  program-driven initiator path and trace-driven replay
+  (:class:`~repro.platform.drivers.TraceDrivenInitiator`),
 * :mod:`~repro.platform.adapters` -- frequency/data-width adapters,
 * :mod:`~repro.platform.soc` -- SoC assembly, simulation driver and trace
   instrumentation,
@@ -43,7 +46,21 @@ from repro.platform.initiator import (
     Write,
     trace_replay_program,
 )
-from repro.platform.soc import SoC, SoCConfig, SimulationResult
+from repro.platform.soc import (
+    SIMULATION_COUNTER,
+    SimulationCounter,
+    SimulationResult,
+    SoC,
+    SoCConfig,
+)
+from repro.platform.drivers import (
+    ProgramDriver,
+    TraceDrivenInitiator,
+    WorkloadDriver,
+    platform_spec,
+    replay_platform,
+    simulate_workload,
+)
 from repro.platform.metrics import LatencyStats, summarize_latencies
 
 __all__ = [
@@ -68,6 +85,14 @@ __all__ = [
     "SoC",
     "SoCConfig",
     "SimulationResult",
+    "SimulationCounter",
+    "SIMULATION_COUNTER",
+    "WorkloadDriver",
+    "ProgramDriver",
+    "TraceDrivenInitiator",
+    "replay_platform",
+    "platform_spec",
+    "simulate_workload",
     "LatencyStats",
     "summarize_latencies",
 ]

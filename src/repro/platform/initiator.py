@@ -116,6 +116,7 @@ Operation = Union[Compute, Read, Write, Lock, Unlock, Barrier]
 def trace_replay_program(
     records: Iterable[TraceRecord],
     pace: bool = True,
+    start: int = 0,
 ) -> Iterator[Operation]:
     """Turn one initiator's trace records back into a program.
 
@@ -125,13 +126,20 @@ def trace_replay_program(
     a master with a queued workload. Without ``pace`` all accesses are
     issued back to back.
 
+    ``start`` is the absolute cycle the program begins executing at.
+    Drivers that schedule an initiator's process directly at its first
+    recorded issue cycle (see
+    :class:`~repro.platform.drivers.TraceDrivenInitiator`) pass it so the
+    pacing clock starts in sync instead of re-inserting the initial gap
+    as a leading :class:`Compute`.
+
     The produced program tracks its own notion of time from the *recorded*
     timestamps; the SoC clock may run later (never earlier) than this
     when the new fabric is more congested than the one that produced the
     trace.
     """
     ordered = sorted(records, key=lambda record: record.issue)
-    clock = 0
+    clock = start
     for record in ordered:
         if pace and record.issue > clock:
             yield Compute(record.issue - clock)

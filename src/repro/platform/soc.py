@@ -37,7 +37,36 @@ from repro.sim.process import spawn
 from repro.traffic.events import TraceRecord, TransactionKind
 from repro.traffic.trace import TrafficTrace
 
-__all__ = ["SoCConfig", "SoC", "SimulationResult"]
+__all__ = [
+    "SoCConfig",
+    "SoC",
+    "SimulationResult",
+    "SimulationCounter",
+    "SIMULATION_COUNTER",
+]
+
+
+class SimulationCounter:
+    """Counts fabric simulations (:meth:`SoC.run` invocations).
+
+    Process-local, like the solver counter in
+    :mod:`repro.core.instrumentation`: replay caching promises that a
+    warm rerun performs *zero* fabric simulations, and that guarantee is
+    only testable if the simulation entry point is observable.
+    """
+
+    def __init__(self) -> None:
+        self.runs = 0
+
+    def record(self) -> None:
+        self.runs += 1
+
+    def reset(self) -> None:
+        self.runs = 0
+
+
+SIMULATION_COUNTER = SimulationCounter()
+"""The process-global counter every :meth:`SoC.run` reports to."""
 
 
 @dataclass(frozen=True)
@@ -126,7 +155,14 @@ class SoC:
     it_binding / ti_binding:
         Crossbar shape: target -> IT bus and initiator -> TI bus.
     programs:
-        One operation iterable per initiator.
+        One operation iterable per initiator. Any workload can drive the
+        fabric this way -- live application programs or replayed trace
+        records (see :mod:`repro.platform.drivers`).
+    start_cycles:
+        Optional per-initiator start offsets: initiator ``k`` enters the
+        fabric at absolute cycle ``start_cycles[k]`` instead of cycle 0.
+        Trace-driven replay uses this to schedule each initiator at its
+        first recorded issue cycle.
     """
 
     def __init__(
@@ -135,6 +171,7 @@ class SoC:
         it_binding: Sequence[int],
         ti_binding: Sequence[int],
         programs: Sequence[Iterable[Operation]],
+        start_cycles: Optional[Sequence[int]] = None,
     ) -> None:
         config.validate()
         if len(it_binding) != config.num_targets:
@@ -151,6 +188,15 @@ class SoC:
             raise ConfigurationError(
                 f"{len(programs)} programs for {config.num_initiators} initiators"
             )
+        if start_cycles is not None:
+            if len(start_cycles) != config.num_initiators:
+                raise ConfigurationError(
+                    f"{len(start_cycles)} start offsets for "
+                    f"{config.num_initiators} initiators"
+                )
+            if any(start < 0 for start in start_cycles):
+                raise ConfigurationError("start_cycles must be non-negative")
+        self._start_cycles = list(start_cycles) if start_cycles is not None else None
         self.config = config
         self.engine = Engine()
         self.fabric = Fabric(
@@ -169,11 +215,16 @@ class SoC:
         """Simulate until all programs finish or ``max_cycles`` elapse."""
         if max_cycles < 1:
             raise ConfigurationError(f"max_cycles must be >= 1, got {max_cycles}")
+        SIMULATION_COUNTER.record()
         self._processes = [
             spawn(
                 self.engine,
                 self._interpret(index, iter(program)),
                 name=self.config.initiator_names[index],
+                start_at=(
+                    None if self._start_cycles is None
+                    else self._start_cycles[index]
+                ),
             )
             for index, program in enumerate(self._programs)
         ]

@@ -14,7 +14,14 @@ and produces a :class:`SuiteRunReport`:
 4. the shared design is replayed against every scenario's own problem
    (capacity + separation audit, per-scenario worst-case overlap), and
    optionally (``replay_latency=True``) through the platform simulator
-   for app-backed scenarios, reporting observed packet latency,
+   for *every* scenario kind, reporting observed packet latency:
+   full-load app-backed scenarios replay their live programs, while
+   profile-backed, load-scaled and thinned scenarios replay their
+   recorded traces through a trace-driven workload driver
+   (:class:`~repro.platform.drivers.TraceDrivenInitiator`); replay
+   results are cached pipeline stages
+   (:class:`~repro.pipeline.artifacts.ReplayArtifact`) and the misses
+   fan out over the engine's process pool,
 5. the report aggregates everything: a per-scenario table (own optimum
    vs the robust design), violation tables, and a Pareto view over
    (bus count, worst-case overlap) across all candidate designs.
@@ -50,11 +57,16 @@ from repro.core.spec import BusBinding, CrossbarDesign, SynthesisConfig
 from repro.core.validate import audit_binding
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache
-from repro.exec.engine import ExecutionEngine, SynthesisTask
+from repro.exec.engine import ExecutionEngine, ReplayTask, SynthesisTask
 from repro.exec.serialize import SynthesisResult, result_to_dict
-from repro.pipeline.artifacts import CollectedTraffic, stage_fingerprint
+from repro.pipeline.artifacts import (
+    CollectedTraffic,
+    ReplayArtifact,
+    stage_fingerprint,
+)
 from repro.pipeline.runner import PipelineRunner
 from repro.pipeline.store import ArtifactStore, StageCounters
+from repro.platform.drivers import TraceDrivenInitiator, replay_platform
 from repro.platform.metrics import LatencyStats
 from repro.scenarios.model import Scenario, ScenarioSuite
 from repro.traffic.trace import TrafficTrace
@@ -83,8 +95,17 @@ class ScenarioOutcome:
     ti_check: ScenarioSideCheck
     latency: Optional[LatencyStats] = None
     """Observed packet latency of the robust design replayed through the
-    platform simulator -- only populated for full-load app-backed
-    scenarios when the runner was built with ``replay_latency=True``."""
+    platform simulator -- populated for every scenario kind when the
+    runner was built with ``replay_latency=True``: full-load app-backed
+    scenarios replay their live programs, profile-backed and load-scaled
+    or thinned scenarios replay their recorded traces through a
+    trace-driven workload driver."""
+
+    latency_skipped: Optional[str] = None
+    """Why replay could not cover this scenario (e.g. ``"empty trace"``);
+    ``None`` when replay ran or was not requested. Reports render this
+    as an explicit ``skipped (<reason>)`` marker instead of silently
+    omitting the latency value."""
 
     @property
     def individual_buses(self) -> int:
@@ -144,10 +165,19 @@ class SuiteRunReport:
     def total_violations(self) -> int:
         return sum(len(outcome.violations) for outcome in self.outcomes)
 
+    @staticmethod
+    def _latency_cell(outcome: "ScenarioOutcome") -> str:
+        if outcome.latency is not None:
+            return f"{outcome.latency.mean:.1f}"
+        if outcome.latency_skipped is not None:
+            return f"skipped ({outcome.latency_skipped})"
+        return "-"
+
     def summary(self) -> str:
         """The aggregated plain-text report."""
         with_latency = any(
-            outcome.latency is not None for outcome in self.outcomes
+            outcome.latency is not None or outcome.latency_skipped is not None
+            for outcome in self.outcomes
         )
         rows = [
             [
@@ -161,15 +191,7 @@ class SuiteRunReport:
                 len(outcome.violations),
                 outcome.worst_case_overlap,
             ]
-            + (
-                [
-                    f"{outcome.latency.mean:.1f}"
-                    if outcome.latency is not None
-                    else "-"
-                ]
-                if with_latency
-                else []
-            )
+            + ([self._latency_cell(outcome)] if with_latency else [])
             for outcome in self.outcomes
         ]
         headers = ["scenario", "source", "packets", "window", "own IT+TI",
@@ -272,11 +294,16 @@ class SuiteRunReport:
                     "individual": result_to_dict(outcome.individual),
                     "it_check": check_dict(outcome.it_check),
                     "ti_check": check_dict(outcome.ti_check),
-                    # Latency replay is opt-in; the key appears only when
+                    # Latency replay is opt-in; the keys appear only when
                     # it ran, keeping reports byte-identical otherwise.
                     **(
                         {"latency": asdict(outcome.latency)}
                         if outcome.latency is not None
+                        else {}
+                    ),
+                    **(
+                        {"latency_skipped": outcome.latency_skipped}
+                        if outcome.latency_skipped is not None
                         else {}
                     ),
                 }
@@ -295,20 +322,36 @@ class SuiteRunReport:
         }
 
 
+@dataclass(frozen=True)
+class _ScenarioReplay:
+    """One scenario's latency-replay verdict (internal bookkeeping)."""
+
+    latency: Optional[LatencyStats]
+    skipped: Optional[str]
+    fingerprint: str = ""
+    summary: str = ""
+
+
 class ScenarioSuiteRunner:
     """Drives a suite end to end; see the module docstring.
 
     Parameters
     ----------
     engine:
-        Execution engine for the per-scenario individual solves
-        (parallelism + whole-result caching).
+        Execution engine for the per-scenario individual solves and the
+        batched replay simulations (parallelism + whole-result caching).
     replay_latency:
-        Also replay the robust design through the platform simulator for
-        every full-load app-backed scenario, reporting average packet
-        latency next to the capacity/separation audit. Profile-backed
-        and load-thinned scenarios have no faithful program-level replay
-        and keep ``latency=None``.
+        Also replay the robust design through the platform simulator
+        for *every* scenario, reporting average packet latency next to
+        the capacity/separation audit. Full-load app-backed scenarios
+        replay their live programs (closed-loop); profile-backed,
+        load-scaled and thinned scenarios replay their recorded traces
+        through a :class:`~repro.platform.drivers.TraceDrivenInitiator`.
+        Replays run as a cached pipeline stage
+        (:class:`~repro.pipeline.artifacts.ReplayArtifact`), so suite
+        re-runs reuse simulated latencies instead of re-simulating; the
+        rare scenario replay cannot cover (e.g. an empty trace) is
+        marked ``skipped (<reason>)`` in the report.
     pipeline:
         The stage runner; by default a fresh
         :class:`~repro.pipeline.PipelineRunner` whose store persists
@@ -345,6 +388,9 @@ class ScenarioSuiteRunner:
             )
         self.pipeline = pipeline
         self.last_run_breakdown: Dict[str, Dict[str, int]] = {}
+        self.last_stage_rows: List[Tuple[str, str, str, str]] = []
+        """(scenario, stage, fingerprint, summary) rows of the last run's
+        per-scenario stage DAG (``repro pipeline inspect <suite>``)."""
 
     def run(self, suite: ScenarioSuite) -> SuiteRunReport:
         """Synthesize the suite: every scenario alone, then one robust
@@ -392,7 +438,7 @@ class ScenarioSuiteRunner:
                 (ti_windowed, self.pipeline.conflicts(ti_windowed, analysis_config))
             )
 
-        individuals = self._individual_results(
+        individuals, individual_fingerprints = self._individual_results(
             scenarios, collected, traces, windows
         )
 
@@ -403,7 +449,7 @@ class ScenarioSuiteRunner:
             self.pipeline, it_sides, ti_sides, names=names, weights=suite.weights
         )
 
-        latencies = self._replay_latencies(scenarios, robust.design)
+        replays = self._replay_latencies(scenarios, collected, robust.design)
 
         outcomes = tuple(
             ScenarioOutcome(
@@ -414,9 +460,10 @@ class ScenarioSuiteRunner:
                 individual=individual,
                 it_check=it_check,
                 ti_check=ti_check,
-                latency=latency,
+                latency=replay.latency,
+                latency_skipped=replay.skipped,
             )
-            for scenario, trace, window, individual, it_check, ti_check, latency
+            for scenario, trace, window, individual, it_check, ti_check, replay
             in zip(
                 scenarios,
                 traces,
@@ -424,8 +471,18 @@ class ScenarioSuiteRunner:
                 individuals,
                 robust.it_report.scenario_checks,
                 robust.ti_report.scenario_checks,
-                latencies,
+                replays,
             )
+        )
+        self.last_stage_rows = self._stage_rows(
+            scenarios,
+            collected,
+            it_sides,
+            ti_sides,
+            individuals,
+            individual_fingerprints,
+            robust,
+            replays,
         )
         pareto = self._pareto_view(
             outcomes,
@@ -450,8 +507,8 @@ class ScenarioSuiteRunner:
 
     # -- per-scenario stages ------------------------------------------
 
-    def _scenario_traffic(self, scenario: Scenario) -> CollectedTraffic:
-        """Phase 1 per scenario, content-addressed by the scenario spec.
+    def _scenario_trace_key(self, scenario: Scenario) -> str:
+        """Content key of a scenario's trace-build stage.
 
         The key covers exactly the fields that determine the trace
         (source, params, load scale, QoS targets, and the name -- it
@@ -465,10 +522,13 @@ class ScenarioSuiteRunner:
             "critical_targets": list(scenario.critical_targets),
             "name": scenario.name,
         }
-        fingerprint = stage_fingerprint("scenario-trace", None, spec)
+        return stage_fingerprint("scenario-trace", None, spec)
+
+    def _scenario_traffic(self, scenario: Scenario) -> CollectedTraffic:
+        """Phase 1 per scenario, content-addressed by the scenario spec."""
         return self.pipeline.memoized(
             "scenario-trace",
-            fingerprint,
+            self._scenario_trace_key(scenario),
             lambda: CollectedTraffic.from_trace(
                 scenario.build_trace(), label=scenario.name
             ),
@@ -480,14 +540,15 @@ class ScenarioSuiteRunner:
         collected: Sequence[CollectedTraffic],
         traces: Sequence[TrafficTrace],
         windows: Sequence[int],
-    ) -> List[SynthesisResult]:
+    ) -> Tuple[List[SynthesisResult], List[str]]:
         """Each scenario's own optimum, memoized across runs.
 
         Unmemoized scenarios go to the engine in one batch (parallel +
         engine-cached); a rerun of an edited suite therefore hands the
         engine only the changed scenarios. ``computed`` here counts
         "delegated to the engine" -- the engine may still serve the
-        point from its own whole-result cache.
+        point from its own whole-result cache. Returns the results and
+        their stage fingerprints, both in suite order.
         """
         tasks = [
             SynthesisTask(
@@ -501,6 +562,7 @@ class ScenarioSuiteRunner:
             for scenario in scenarios
         ]
         results: List[Optional[SynthesisResult]] = [None] * len(scenarios)
+        fingerprints: List[str] = []
         pending: List[Tuple[int, str]] = []
         for index, (artifact, task, tag) in enumerate(
             zip(collected, tasks, tags)
@@ -514,6 +576,7 @@ class ScenarioSuiteRunner:
                     "tag": tag,
                 },
             )
+            fingerprints.append(fingerprint)
             cached = self.pipeline.store.get(fingerprint)
             if cached is not None:
                 self.pipeline.counters.record_memo_hit("individual-solve")
@@ -529,42 +592,203 @@ class ScenarioSuiteRunner:
                 self.pipeline.counters.record_computed("individual-solve")
                 self.pipeline.store.put(fingerprint, result)
                 results[index] = result
-        return results  # type: ignore[return-value]
+        return results, fingerprints  # type: ignore[return-value]
 
-    def _replay_latencies(
-        self, scenarios: Sequence[Scenario], design: CrossbarDesign
-    ) -> List[Optional[LatencyStats]]:
-        """The optional validation stage: latency replay of the robust
-        design through the platform simulator (app-backed scenarios)."""
-        if not self.replay_latency:
-            return [None] * len(scenarios)
+    def _replay_plan(
+        self, scenario: Scenario, trace: TrafficTrace, design: CrossbarDesign
+    ) -> Tuple[Any, ReplayTask]:
+        """The driver + portable task that replay this scenario.
+
+        Full-load app-backed scenarios replay their live programs -- the
+        closed-loop path reacts to the candidate fabric's contention
+        exactly as the deployed software would. Every other kind
+        (profile-backed, load-scaled, thinned) replays its recorded
+        trace: the records already reflect scaling and thinning, and the
+        trace-driven initiator re-issues them through the
+        arbiter/bus/target models at their recorded cycles.
+        """
         from repro.apps import build_application
         from repro.exec.fingerprint import canonical_json
 
-        latencies: List[Optional[LatencyStats]] = []
-        for scenario in scenarios:
-            if scenario.source_kind != "app" or scenario.load_scale != 1.0:
-                # Profiles have no programs to re-simulate, and thinned
-                # app traces have no faithful program-level replay: the
-                # simulator would run the full-load programs and report
-                # the wrong scenario's latency (ROADMAP: trace-driven
-                # replay). No number beats a misleading one.
-                latencies.append(None)
-                continue
+        if scenario.source_kind == "app" and scenario.load_scale == 1.0:
             application = build_application(
                 scenario.source_name, **dict(scenario.params)
             )
-            validated = self.pipeline.validate(
-                application,
-                design,
-                application.sim_cycles * 4,
+            driver = application.driver(
                 source_key=canonical_json(
                     {"source": scenario.source, "params": dict(scenario.params)}
-                ),
+                )
+            )
+            task = ReplayTask(
+                it_binding=design.it.binding,
+                ti_binding=design.ti.binding,
+                budget=application.sim_cycles * 4,
+                app_name=scenario.source_name,
+                app_params=tuple(sorted(scenario.params.items())),
                 label=scenario.name,
             )
-            latencies.append(validated.stats)
-        return latencies
+            return driver, task
+        if scenario.source_kind == "app":
+            platform = build_application(
+                scenario.source_name, **dict(scenario.params)
+            ).config
+        else:
+            platform = replay_platform(trace)
+        driver = TraceDrivenInitiator(
+            trace, config=platform, label=scenario.name
+        )
+        task = ReplayTask(
+            it_binding=design.it.binding,
+            ti_binding=design.ti.binding,
+            budget=driver.sim_cycles,
+            trace=trace,
+            platform=platform,
+            label=scenario.name,
+        )
+        return driver, task
+
+    def _replay_latencies(
+        self,
+        scenarios: Sequence[Scenario],
+        collected: Sequence[CollectedTraffic],
+        design: CrossbarDesign,
+    ) -> List[_ScenarioReplay]:
+        """The validation stage: latency replay of the robust design
+        through the platform simulator, for every scenario kind.
+
+        Replays run as a cached pipeline stage: cached scenarios are
+        served from the store (memory or disk), the misses fan out over
+        the engine's replay batch (parallel when ``jobs > 1``), and
+        every computed replay lands back in the store so reruns and
+        other processes reuse it. A scenario replay cannot cover gets
+        an explicit skip reason instead of a silently missing value.
+        """
+        if not self.replay_latency:
+            return [_ScenarioReplay(None, None)] * len(scenarios)
+        replays: List[Optional[_ScenarioReplay]] = [None] * len(scenarios)
+        pending: List[Tuple[int, ReplayTask, Optional[str]]] = []
+        for index, (scenario, artifact) in enumerate(
+            zip(scenarios, collected)
+        ):
+            trace = artifact.trace
+            if len(trace) == 0:
+                # Nothing to drive through the fabric: no packets means
+                # no latency sample, however the fabric looks.
+                replays[index] = _ScenarioReplay(None, "empty trace")
+                continue
+            driver, task = self._replay_plan(scenario, trace, design)
+            fingerprint = self.pipeline.replay_fingerprint(
+                driver, design, task.budget
+            )
+            if fingerprint is not None:
+                cached = self.pipeline.lookup_replay(fingerprint)
+                if cached is not None:
+                    replays[index] = _ScenarioReplay(
+                        cached.stats, None, fingerprint, cached.describe()
+                    )
+                    continue
+            pending.append((index, task, fingerprint))
+        if pending:
+            outcomes = self.engine.run_replay_batch(
+                [task for _index, task, _fingerprint in pending]
+            )
+            for (index, _task, fingerprint), outcome in zip(
+                pending, outcomes
+            ):
+                artifact = ReplayArtifact(
+                    stats=outcome.stats,
+                    critical_stats=outcome.critical_stats,
+                    finished=outcome.finished,
+                    num_transactions=outcome.num_transactions,
+                    simulated_cycles=outcome.simulated_cycles,
+                    fingerprint=fingerprint or "",
+                    label=outcome.label,
+                )
+                self.pipeline.record_replay(artifact)
+                replays[index] = _ScenarioReplay(
+                    artifact.stats,
+                    None,
+                    fingerprint or "",
+                    artifact.describe(),
+                )
+        return replays  # type: ignore[return-value]
+
+    def _stage_rows(
+        self,
+        scenarios: Sequence[Scenario],
+        collected: Sequence[CollectedTraffic],
+        it_sides: Sequence[Tuple],
+        ti_sides: Sequence[Tuple],
+        individuals: Sequence[SynthesisResult],
+        individual_fingerprints: Sequence[str],
+        robust: RobustSynthesisReport,
+        replays: Sequence[_ScenarioReplay],
+    ) -> List[Tuple[str, str, str, str]]:
+        """The per-scenario stage DAG of this run, as display rows."""
+        rows: List[Tuple[str, str, str, str]] = []
+        for index, (scenario, artifact) in enumerate(
+            zip(scenarios, collected)
+        ):
+            rows.append(
+                (
+                    scenario.name,
+                    "scenario-trace",
+                    self._scenario_trace_key(scenario),
+                    f"{len(artifact.trace)} records, "
+                    f"{artifact.trace.total_cycles} cycles",
+                )
+            )
+            for side_name, sides in (("it", it_sides), ("ti", ti_sides)):
+                windowed, conflicts = sides[index]
+                rows.append(
+                    (
+                        scenario.name,
+                        f"window[{side_name}]",
+                        windowed.fingerprint,
+                        windowed.describe(),
+                    )
+                )
+                rows.append(
+                    (
+                        scenario.name,
+                        f"conflicts[{side_name}]",
+                        conflicts.fingerprint,
+                        conflicts.describe(),
+                    )
+                )
+            rows.append(
+                (
+                    scenario.name,
+                    "individual-solve",
+                    individual_fingerprints[index],
+                    f"{individuals[index].bus_count} buses",
+                )
+            )
+            if self.replay_latency:
+                replay = replays[index]
+                rows.append(
+                    (
+                        scenario.name,
+                        "replay",
+                        replay.fingerprint or "-",
+                        replay.summary
+                        or f"skipped ({replay.skipped})",
+                    )
+                )
+        for side_name, side_report in (
+            ("it", robust.it_report),
+            ("ti", robust.ti_report),
+        ):
+            rows.append(
+                (
+                    "(suite)",
+                    f"bind-merged[{side_name}]",
+                    side_report.stage_fingerprint or "-",
+                    f"{side_report.binding.num_buses} buses, maxov "
+                    f"{side_report.binding.max_bus_overlap}",
+                )
+            )
+        return rows
 
     @staticmethod
     def _check_platform(

@@ -29,9 +29,12 @@ class Process:
     """Drives a generator to completion on an :class:`Engine`.
 
     The process starts automatically on the cycle it is created (at the
-    current simulation time). Its :attr:`done` event triggers when the
-    generator returns; the generator's return value becomes the event
-    value and :attr:`result`.
+    current simulation time), or -- with ``start_at`` -- at a later
+    absolute cycle: workload drivers that replay recorded stimulus use
+    this to hold each initiator off the fabric until its first recorded
+    transaction is due, instead of waking every process at cycle zero.
+    Its :attr:`done` event triggers when the generator returns; the
+    generator's return value becomes the event value and :attr:`result`.
     """
 
     def __init__(
@@ -39,6 +42,7 @@ class Process:
         engine: Engine,
         generator: Generator[Any, Any, Any],
         name: str = "process",
+        start_at: Optional[int] = None,
     ) -> None:
         if not hasattr(generator, "send"):
             raise SimulationError(
@@ -48,7 +52,15 @@ class Process:
         self._generator = generator
         self.name = name
         self.done = Event(engine)
-        engine.schedule(0, self._resume, None)
+        if start_at is None:
+            engine.schedule(0, self._resume, None)
+        else:
+            if start_at < engine.now:
+                raise SimulationError(
+                    f"process {name!r} cannot start at cycle {start_at}, "
+                    f"current time is {engine.now}"
+                )
+            engine.schedule_at(start_at, self._resume, None)
 
     @property
     def finished(self) -> bool:
@@ -98,6 +110,17 @@ def spawn(
     engine: Engine,
     generator: Generator[Any, Any, Any],
     name: Optional[str] = None,
+    start_at: Optional[int] = None,
 ) -> Process:
-    """Create and start a :class:`Process` for ``generator``."""
-    return Process(engine, generator, name or getattr(generator, "__name__", "process"))
+    """Create and start a :class:`Process` for ``generator``.
+
+    ``start_at`` defers the first resume to an absolute cycle (driver
+    scheduling: replayed initiators enter the fabric at their first
+    recorded issue cycle).
+    """
+    return Process(
+        engine,
+        generator,
+        name or getattr(generator, "__name__", "process"),
+        start_at=start_at,
+    )

@@ -65,7 +65,22 @@ class TrafficTrace:
                     f"record completes at {record.complete}, beyond the "
                     f"simulation period of {total_cycles} cycles"
                 )
-        self._records = sorted(records, key=lambda rec: (rec.issue, rec.it_grant))
+        # A *total* order (no two distinct records tie): same-cycle
+        # transactions from different cores would otherwise keep the
+        # arbitrary relative position their simulation's event ordering
+        # happened to append them in, making the canonical record list
+        # -- and everything content-addressed from it -- depend on
+        # scheduling internals instead of content.
+        self._records = sorted(
+            records,
+            key=lambda rec: (
+                rec.issue,
+                rec.it_grant,
+                rec.initiator,
+                rec.target,
+                rec.complete,
+            ),
+        )
         self.num_initiators = num_initiators
         self.num_targets = num_targets
         self.total_cycles = int(total_cycles)

@@ -154,24 +154,71 @@ class TestLatencyReplay:
         assert full.latency is not None
         assert full.latency.count > 0
         assert full.latency.mean > 0
-        # Thinned app traces have no faithful program-level replay; a
-        # full-load number would misreport the scaled scenario.
-        assert light.latency is None
+        # Thinned app traces replay through the trace-driven driver: the
+        # recorded (already thinned) packets re-issue at their recorded
+        # cycles, so the scaled scenario reports its own latency.
+        assert light.latency is not None
+        assert 0 < light.latency.count < full.latency.count
         assert "avg lat (cy)" in report.summary()
         entries = report.to_dict()["scenarios"]
         assert entries[0]["latency"]["mean"] > 0
-        assert "latency" not in entries[1]
+        assert entries[1]["latency"]["mean"] > 0
+        assert "latency_skipped" not in entries[0]
+        assert "latency_skipped" not in entries[1]
 
-    def test_profile_scenarios_stay_none_under_replay(self):
+    def test_profile_scenarios_report_latency_under_replay(self):
+        """Profile-backed scenarios replay their recorded traces."""
         report = ScenarioSuiteRunner(replay_latency=True).run(
             build_suite("smoke")
         )
-        assert all(outcome.latency is None for outcome in report.outcomes)
-        assert "avg lat (cy)" not in report.summary()
+        for outcome in report.outcomes:
+            assert outcome.latency is not None
+            assert outcome.latency.count == outcome.num_records
+            assert outcome.latency.mean > 0
+            assert outcome.latency_skipped is None
+        assert "avg lat (cy)" in report.summary()
+
+    def test_loadramp_scaled_scenarios_report_latency(self):
+        """Load-scaled profile scenarios are covered by trace replay."""
+        report = ScenarioSuiteRunner(replay_latency=True).run(
+            build_suite("loadramp")
+        )
+        counts = [outcome.latency.count for outcome in report.outcomes]
+        assert all(count > 0 for count in counts)
+        # higher offered load replays more packets
+        assert counts == sorted(counts)
+
+    def test_empty_trace_scenario_is_marked_skipped(self):
+        suite = ScenarioSuite(
+            name="sparse",
+            scenarios=(
+                Scenario(
+                    name="busy",
+                    source="profile:poisson",
+                    params={**SMALL, "rate": 0.01, "seed": 5},
+                ),
+                Scenario(
+                    name="silent",
+                    source="profile:poisson",
+                    # rate low enough that no packet is ever emitted
+                    params={**SMALL, "rate": 1e-9, "seed": 6},
+                ),
+            ),
+        )
+        report = ScenarioSuiteRunner(replay_latency=True).run(suite)
+        busy, silent = report.outcomes
+        assert busy.latency is not None
+        assert silent.latency is None
+        assert silent.latency_skipped == "empty trace"
+        assert "skipped (empty trace)" in report.summary()
+        entries = report.to_dict()["scenarios"]
+        assert entries[1]["latency_skipped"] == "empty trace"
+        assert "latency" not in entries[1]
 
     def test_latency_absent_by_default(self, smoke_report):
         """Reports must stay byte-compatible when replay is off."""
         assert all(outcome.latency is None for outcome in smoke_report.outcomes)
         for entry in smoke_report.to_dict()["scenarios"]:
             assert "latency" not in entry
+            assert "latency_skipped" not in entry
         assert "avg lat (cy)" not in smoke_report.summary()

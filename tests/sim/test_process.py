@@ -22,6 +22,45 @@ class TestProcessWaits:
         engine.run()
         assert times == [0, 5, 8]
 
+    def test_start_at_defers_first_resume(self):
+        """Driver scheduling: a process can enter the model at an
+        absolute cycle instead of the spawn cycle."""
+        engine = Engine()
+        times = []
+
+        def worker():
+            times.append(engine.now)
+            yield 5
+            times.append(engine.now)
+
+        spawn(engine, worker(), start_at=40)
+        engine.run()
+        assert times == [40, 45]
+
+    def test_start_at_zero_matches_default(self):
+        engine = Engine()
+        times = []
+
+        def worker():
+            times.append(engine.now)
+            yield 1
+
+        spawn(engine, worker(), start_at=0)
+        engine.run()
+        assert times == [0]
+
+    def test_start_at_in_the_past_raises(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        assert engine.now == 10
+
+        def worker():
+            yield 1
+
+        with pytest.raises(SimulationError, match="cannot start"):
+            spawn(engine, worker(), start_at=5)
+
     def test_event_yield_receives_value(self):
         engine = Engine()
         event = Event(engine)

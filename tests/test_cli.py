@@ -197,6 +197,29 @@ class TestPipelineCommands:
         assert SOLVE_COUNTER.total == 0  # binding stages came from disk
         assert "stage artifacts for qsort" in out
 
+    def test_pipeline_inspect_suite_prints_per_scenario_dag(self, capsys):
+        assert main(["pipeline", "inspect", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "per-scenario stage DAG for suite 'smoke'" in out
+        for stage in ("scenario-trace", "window[it]", "conflicts[ti]",
+                      "individual-solve", "replay", "bind-merged[it]"):
+            assert stage in out
+        assert "burst-sync" in out  # per-scenario rows, not just stages
+        assert "(suite)" in out
+
+    def test_pipeline_inspect_suite_json_file(self, tmp_path, capsys):
+        from repro.scenarios import build_suite, save_suite
+
+        path = tmp_path / "custom.json"
+        save_suite(build_suite("smoke"), path)
+        assert main(["pipeline", "inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-scenario stage DAG" in out
+
+    def test_pipeline_inspect_suite_rejects_window_override(self, capsys):
+        assert main(["pipeline", "inspect", "smoke", "--window", "500"]) == 1
+        assert "single-application" in capsys.readouterr().err
+
     def test_pipeline_inspect_unknown_app_fails_cleanly(self, capsys):
         assert main(["pipeline", "inspect", "doom"]) == 1
         assert "error:" in capsys.readouterr().err
@@ -211,10 +234,11 @@ class TestCacheCommands:
 
         assert main(["cache", "stats", cache_dir]) == 0
         out = capsys.readouterr().out
-        assert "2 entries" in out  # the two persisted binding stages
+        # two persisted binding stages + two windowed-tensor sidecars
+        assert "4 entries" in out
 
         assert main(["cache", "prune", cache_dir, "--max-bytes", "0"]) == 0
-        assert "pruned 2 entries" in capsys.readouterr().out
+        assert "pruned 4 entries" in capsys.readouterr().out
 
         assert main(["cache", "stats", cache_dir]) == 0
         assert "0 entries" in capsys.readouterr().out

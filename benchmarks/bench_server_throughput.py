@@ -1,0 +1,152 @@
+"""Server throughput bench: warm vs cold request latency over HTTP.
+
+The bench stands up a real ``repro serve`` daemon (in-process threads,
+real sockets, a temporary cache directory) and measures three request
+paths end to end:
+
+* **cold** -- first design request for a fingerprint: full pipeline
+  solve on a worker thread;
+* **warm** -- the identical request resubmitted: answered from the
+  finished-job registry / whole-result cache without queueing a solve;
+* **coalesced burst** -- N identical requests submitted concurrently
+  against a fresh fingerprint: single-flight admission shares ONE
+  solve across all of them (asserted via the solver-invocation
+  counter).
+
+The timed kernel is the warm path -- the daemon's steady-state answer
+latency -- and the CI gate asserts warm stays well under cold, i.e.
+that the coalescing/caching layers actually short-circuit the solver.
+"""
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+
+from repro.core import SOLVE_COUNTER
+
+from _bench_utils import emit
+
+
+def _post(base, payload):
+    request = urllib.request.Request(
+        f"{base}/v1/jobs",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def _get(base, path):
+    with urllib.request.urlopen(f"{base}{path}") as response:
+        return json.loads(response.read())
+
+
+def _submit_and_wait(base, payload):
+    job = _post(base, payload)["job"]
+    done = _get(base, f"/v1/jobs/{job}?wait=120")
+    assert done["state"] == "done", done.get("error")
+    return done
+
+
+def test_server_throughput(benchmark, results_dir):
+    from repro.server import SynthesisServer
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        server = SynthesisServer(port=0, cache_dir=cache_dir, workers=2)
+        server.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            cold_request = {"kind": "design", "app": "qsort"}
+
+            SOLVE_COUNTER.reset()
+            cold_begin = time.perf_counter()
+            _submit_and_wait(base, cold_request)
+            cold_seconds = time.perf_counter() - cold_begin
+            cold_solves = SOLVE_COUNTER.total
+            assert cold_solves > 0
+
+            # Warm path: identical request, no solver work.
+            SOLVE_COUNTER.reset()
+            warm = benchmark.pedantic(
+                lambda: _submit_and_wait(base, cold_request),
+                rounds=5,
+                iterations=1,
+            )
+            assert warm["state"] == "done"
+            assert SOLVE_COUNTER.total == 0
+
+            # Coalesced burst against a fresh fingerprint: N concurrent
+            # identical submissions, ONE solve.
+            burst_request = {
+                "kind": "design", "app": "qsort", "threshold": 0.25,
+            }
+            SOLVE_COUNTER.reset()
+            burst = 8
+            job_ids = []
+            lock = threading.Lock()
+
+            def submit():
+                response = _post(base, burst_request)
+                with lock:
+                    job_ids.append(response["job"])
+
+            burst_begin = time.perf_counter()
+            threads = [
+                threading.Thread(target=submit) for _ in range(burst)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(set(job_ids)) == 1  # every submitter shares one job
+            done = _get(base, f"/v1/jobs/{job_ids[0]}?wait=120")
+            burst_seconds = time.perf_counter() - burst_begin
+            assert done["state"] == "done"
+            burst_solves = SOLVE_COUNTER.total
+            # The acceptance property: the burst cost one request's
+            # solves, not eight requests' worth.
+            assert burst_solves == cold_solves
+
+            stats = _get(base, "/v1/stats")
+            assert stats["coalescing"]["coalesced"] >= burst - 1
+        finally:
+            server.stop()
+
+    warm_mean = benchmark.stats.stats.mean
+    # CI gate: the warm path must short-circuit the solver. Cold runs
+    # a full pipeline solve; warm answers from the finished-job
+    # registry, so an order-of-magnitude gap is expected -- gate at 2x
+    # to stay robust against scheduler noise on slow CI hosts.
+    assert warm_mean < cold_seconds / 2, (
+        f"warm request mean {warm_mean:.4f}s not well under cold "
+        f"{cold_seconds:.4f}s"
+    )
+
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["cold_solves"] = cold_solves
+    benchmark.extra_info["burst_size"] = burst
+    benchmark.extra_info["burst_seconds"] = round(burst_seconds, 4)
+    benchmark.extra_info["burst_solves"] = burst_solves
+    benchmark.extra_info["warm_over_cold"] = round(
+        warm_mean / cold_seconds, 4
+    )
+
+    emit(
+        results_dir,
+        "server_throughput",
+        "\n".join(
+            [
+                "repro serve request paths (design qsort)",
+                f"  cold solve        {cold_seconds * 1e3:9.1f} ms "
+                f"({cold_solves} solver calls)",
+                f"  warm request      {warm_mean * 1e3:9.1f} ms "
+                "(0 solver calls)",
+                f"  coalesced burst   {burst_seconds * 1e3:9.1f} ms "
+                f"({burst} submitters, {burst_solves} solver calls)",
+            ]
+        ),
+    )

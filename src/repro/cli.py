@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 import time
 from typing import List, Optional
 
@@ -276,6 +277,40 @@ def build_parser() -> argparse.ArgumentParser:
     cache_prune.add_argument(
         "--max-bytes", type=int, required=True, metavar="N",
         help="keep evicting oldest-used entries until the cache fits N bytes",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived synthesis daemon (HTTP/JSON API)",
+        description="Serve synthesis jobs over HTTP: async job queue, "
+        "request coalescing by content address, cache-backed warm "
+        "paths. See docs/http-api.md for the endpoint reference.",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8321, metavar="PORT",
+        help="listen port (0 = pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent job slots in the queue",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="engine worker processes available to each job "
+        "(1 = serial, 0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result/stage cache; warm requests answer without "
+        "re-solving, even across daemon restarts",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log each HTTP request to stderr",
     )
     return parser
 
@@ -624,6 +659,46 @@ def _cmd_scenarios(args) -> int:
     raise AssertionError(f"unhandled scenarios command {args.scenarios_command!r}")
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.server import serve as start_server
+
+    server = start_server(
+        host=args.host,
+        port=args.port,
+        engine_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+    stop = threading.Event()
+
+    def _request_stop(_signum, _frame) -> None:
+        stop.set()
+
+    # SIGINT/SIGTERM both mean "drain and exit"; a second Ctrl-C during
+    # the drain falls through to KeyboardInterrupt and exits hard.
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    print(f"repro serve: listening on {server.address}")
+    print(
+        f"  workers={args.workers} engine-jobs={args.jobs} "
+        f"cache={args.cache_dir or '(none)'}"
+    )
+    try:
+        stop.wait()
+        print("repro serve: draining queue ...")
+        server.stop(drain=True)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("repro serve: stopped")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -644,6 +719,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_pipeline(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -13,6 +13,24 @@ everything loops into cached, parallel executions:
 * :mod:`~repro.exec.serialize` -- the JSON-portable
   :class:`SynthesisResult` record shared by the cache, the CLI and the
   report layer.
+
+Contracts
+---------
+* **Content addressing.** A solved point is keyed by
+  :func:`~repro.exec.fingerprint.task_key` -- a canonical SHA-256 over
+  (trace fingerprint, full synthesis configuration, window,
+  application name), schema-versioned via
+  :data:`~repro.exec.fingerprint.CACHE_SCHEMA_VERSION`. A changed
+  input can never alias a cached result.
+* **Caching.** Whole results persist as ``<key>.json`` entries in the
+  :class:`ResultCache` directory (shared with the pipeline's per-stage
+  entries; one ``prune``/``usage`` covers both). Writes are atomic,
+  corrupt entries degrade to misses, hits refresh mtime so pruning is
+  true LRU, and the cache is safe under concurrent threads and
+  processes.
+* **Determinism.** ``jobs=N`` fan-out returns results byte-identical
+  to a serial run, in task order, whichever path (pool, serial
+  fallback, cache) each point took.
 """
 
 from repro.exec.cache import CacheStats, CacheUsage, ResultCache

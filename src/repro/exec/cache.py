@@ -16,6 +16,15 @@ sharing a cache directory never observe torn entries; corrupt or
 stale-format entries are treated as misses and rewritten. Hits touch
 the entry's mtime, making :meth:`ResultCache.prune` a true
 least-recently-used eviction.
+
+The cache is safe under concurrent access from threads *and* unrelated
+processes: the maintenance walks (:meth:`ResultCache.usage`,
+:meth:`ResultCache.prune`, :meth:`ResultCache.clear`) tolerate entries
+vanishing mid-iteration (an in-flight ``put_json`` landing, a
+concurrent prune winning the unlink -- ``FileNotFoundError`` on
+stat/unlink skips the entry), and the in-process hit/miss statistics
+are updated under a lock so the ``repro serve`` daemon's threaded
+handlers never lose counts.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
@@ -39,7 +49,12 @@ __all__ = ["CacheStats", "CacheUsage", "ResultCache"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting of one cache instance."""
+    """Hit/miss accounting of one cache instance.
+
+    Instances are mutated only by their owning :class:`ResultCache`,
+    which serializes every update under its lock; readers see a
+    consistent (if momentarily stale) view without locking.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -84,6 +99,24 @@ class ResultCache:
                 f"cache path {self.cache_dir} exists and is not a directory"
             )
         self.stats = CacheStats()
+        # Serializes statistics updates; file operations themselves are
+        # atomic (os.replace) or vanish-tolerant and need no lock, so
+        # threaded servers never contend on I/O through this.
+        self._stats_lock = threading.Lock()
+
+    def _record(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        stores: int = 0,
+        invalid: int = 0,
+    ) -> None:
+        """Apply one statistics update atomically."""
+        with self._stats_lock:
+            self.stats.hits += hits
+            self.stats.misses += misses
+            self.stats.stores += stores
+            self.stats.invalid += invalid
 
     def _path(self, key: str) -> Path:
         if not key or any(ch in key for ch in "/\\."):
@@ -117,17 +150,16 @@ class ResultCache:
         try:
             result = result_from_dict(self._load(key))
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._record(misses=1)
             return None
         # ValueError covers UnicodeDecodeError (binary garbage in the
         # file) and any json.JSONDecodeError not already subsumed by it:
         # a corrupted or truncated entry is a miss to re-solve and
         # overwrite, never an error.
         except (OSError, ValueError, ReproError):
-            self.stats.misses += 1
-            self.stats.invalid += 1
+            self._record(misses=1, invalid=1)
             return None
-        self.stats.hits += 1
+        self._record(hits=1)
         self._touch(key)
         return result
 
@@ -142,13 +174,12 @@ class ResultCache:
         try:
             payload = self._load(key)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._record(misses=1)
             return None
         except (OSError, ValueError):
-            self.stats.misses += 1
-            self.stats.invalid += 1
+            self._record(misses=1, invalid=1)
             return None
-        self.stats.hits += 1
+        self._record(hits=1)
         self._touch(key)
         return payload
 
@@ -174,7 +205,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
+        self._record(stores=1)
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -224,14 +255,20 @@ class ResultCache:
         return removed
 
     def usage(self) -> CacheUsage:
-        """Entry/sidecar count and total bytes currently on disk."""
+        """Entry/sidecar count and total bytes currently on disk.
+
+        Safe against concurrent writers and pruners: an entry that
+        vanishes between the directory walk and its ``stat`` (a
+        ``FileNotFoundError``, e.g. an in-flight ``put_json`` replacing
+        it or a concurrent ``prune`` evicting it) is simply skipped.
+        """
         entries = 0
         total = 0
         for path in self._entry_files():
             try:
                 total += path.stat().st_size
                 entries += 1
-            except OSError:
+            except OSError:  # vanished mid-walk: skip, never raise
                 pass
         return CacheUsage(entries=entries, total_bytes=total)
 
@@ -242,6 +279,12 @@ class ResultCache:
         oldest-mtime-first (hits refresh mtime, so recently-used entries
         survive) until the remaining footprint is at most ``max_bytes``.
         Returns the number of files removed.
+
+        Like :meth:`usage`, pruning tolerates concurrent access: files
+        that vanish between the walk and their ``stat``/``unlink``
+        (``FileNotFoundError`` from a racing writer or pruner) are
+        skipped, so ``repro serve``'s stats endpoint and in-flight jobs
+        can share a directory with maintenance commands.
         """
         if max_bytes < 0:
             raise ReproError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -250,7 +293,7 @@ class ResultCache:
         for path in self._entry_files():
             try:
                 stat = path.stat()
-            except OSError:
+            except OSError:  # vanished mid-walk: skip, never raise
                 continue
             aged.append((stat.st_mtime, str(path), path, stat.st_size))
             total += stat.st_size

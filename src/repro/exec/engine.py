@@ -298,6 +298,22 @@ class ExecutionEngine:
             cache = ResultCache(cache)
         self.cache = cache
 
+    def scoped(self, jobs: Optional[int] = None) -> "ExecutionEngine":
+        """A job-scoped engine sharing this engine's cache instance.
+
+        The ``repro serve`` daemon executes every accepted job on its
+        own engine -- each job gets its own pool fan-out (bounded by the
+        server's per-job ``jobs`` setting) and fails independently --
+        while all jobs read and write *one* :class:`ResultCache`
+        instance, so hit/miss statistics aggregate server-wide and two
+        jobs never hold divergent views of the same cache directory.
+
+        ``jobs=None`` inherits this engine's worker count.
+        """
+        return ExecutionEngine(
+            jobs=self.jobs if jobs is None else jobs, cache=self.cache
+        )
+
     # -- synthesis ----------------------------------------------------
 
     def synthesize(

@@ -12,6 +12,27 @@ store (:mod:`~repro.pipeline.store`) and one
 so intermediate artifacts are reused wherever their fingerprints match:
 across the points of a sweep, across the scenarios of a suite, and
 across edits of a suite (incremental re-synthesis).
+
+Contracts
+---------
+* **Content addressing.** Every stage output's fingerprint is a
+  SHA-256 over its upstream artifacts' fingerprints plus *only* the
+  configuration fields that stage reads (schema-versioned via
+  :data:`STAGE_SCHEMA_VERSION`). Fingerprints are derivable without
+  executing (:meth:`~repro.pipeline.runner.PipelineRunner.design_fingerprint`),
+  which is what lets the ``repro serve`` daemon content-address a
+  request before committing solver work.
+* **Caching.** Live artifacts memoize in the
+  :class:`~repro.pipeline.store.ArtifactStore`'s LRU; JSON-serializable
+  stages (bindings, replays) and windowed tensors (``.npz`` sidecars)
+  additionally persist through a
+  :class:`~repro.exec.cache.ResultCache` directory shared with
+  whole-result entries. A stale hit is impossible: any input change
+  changes the fingerprint.
+* **Determinism.** Stages are pure functions of their fingerprinted
+  inputs. A warm rerun reproduces a cold run byte for byte, and the
+  store may be driven from multiple threads (tallies and LRU
+  operations are lock-protected).
 """
 
 from repro.pipeline.artifacts import (

@@ -352,6 +352,41 @@ class PipelineRunner:
             windowed=windowed, conflicts=conflicts, binding=binding
         )
 
+    def design_fingerprint(
+        self,
+        trace_digest: str,
+        config: SynthesisConfig,
+        window_size: int,
+    ) -> str:
+        """The end-to-end design fingerprint, derived without executing.
+
+        Stage fingerprints are pure functions of the upstream
+        fingerprints plus each stage's configuration slice, so the final
+        design fingerprint is computable from the trace's content digest
+        alone -- no windowing, no solving. This is the fingerprint-level
+        lookup hook the ``repro serve`` daemon coalesces on: it lets the
+        server content-address a design request (and advertise the
+        fingerprint to clients) before committing any solver work. The
+        value matches :attr:`PipelineDesign.fingerprint` of an executed
+        flow over a trace with digest ``trace_digest``.
+        """
+        side_fingerprints = []
+        for mirrored in (False, True):  # it side first, then ti
+            windowed = stage_fingerprint(
+                "window",
+                trace_digest,
+                window_stage_spec(config, window_size, mirrored),
+            )
+            conflicts = stage_fingerprint(
+                "conflicts", windowed, conflict_stage_spec(config)
+            )
+            side_fingerprints.append(
+                stage_fingerprint(
+                    "bind", [windowed, conflicts], binding_stage_spec(config)
+                )
+            )
+        return stage_fingerprint("design", side_fingerprints, None)
+
     def design(
         self,
         trace: Union[TrafficTrace, CollectedTraffic],

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from collections import OrderedDict
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -49,41 +50,73 @@ class StageCounters:
     ``computed[stage]`` counts real stage executions, ``memo_hits`` the
     in-memory reuses, ``disk_hits`` the persistent-store reuses. The sum
     of the three is the number of times the stage's output was needed.
+
+    Counters double as the pipeline's *progress feed*: observers
+    registered with :meth:`subscribe` are called synchronously on every
+    tally -- ``observer(kind, stage)`` with ``kind`` one of
+    ``"computed"``/``"memo_hit"``/``"disk_hit"`` -- which is how the
+    ``repro serve`` job registry streams per-stage progress to pollers
+    while a solve is still running. Tallies and snapshots are
+    lock-protected, so one runner may be driven and observed from
+    different threads.
     """
 
     def __init__(self) -> None:
         self.computed: Dict[str, int] = {}
         self.memo_hits: Dict[str, int] = {}
         self.disk_hits: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._observers: List[Callable[[str, str], None]] = []
 
-    def _bump(self, table: Dict[str, int], stage: str) -> None:
-        table[stage] = table.get(stage, 0) + 1
+    def subscribe(self, observer: Callable[[str, str], None]) -> None:
+        """Call ``observer(kind, stage)`` on every recorded tally.
+
+        Observers run synchronously on the recording thread; they must
+        be cheap and must not drive the pipeline themselves.
+        """
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[str, str], None]) -> None:
+        """Remove a previously subscribed observer."""
+        self._observers.remove(observer)
+
+    def _bump(self, table: Dict[str, int], kind: str, stage: str) -> None:
+        with self._lock:
+            table[stage] = table.get(stage, 0) + 1
+        for observer in list(self._observers):
+            observer(kind, stage)
 
     def record_computed(self, stage: str) -> None:
-        self._bump(self.computed, stage)
+        self._bump(self.computed, "computed", stage)
 
     def record_memo_hit(self, stage: str) -> None:
-        self._bump(self.memo_hits, stage)
+        self._bump(self.memo_hits, "memo_hit", stage)
 
     def record_disk_hit(self, stage: str) -> None:
-        self._bump(self.disk_hits, stage)
+        self._bump(self.disk_hits, "disk_hit", stage)
 
     def reset(self) -> None:
-        self.computed.clear()
-        self.memo_hits.clear()
-        self.disk_hits.clear()
+        with self._lock:
+            self.computed.clear()
+            self.memo_hits.clear()
+            self.disk_hits.clear()
 
     def snapshot(self) -> Dict[str, Dict[str, int]]:
-        """A copy of the tallies (for deltas around one run)."""
-        return {
-            "computed": dict(self.computed),
-            "memo_hits": dict(self.memo_hits),
-            "disk_hits": dict(self.disk_hits),
-        }
+        """A consistent copy of the tallies (for deltas around one run,
+        and for progress polling from another thread)."""
+        with self._lock:
+            return {
+                "computed": dict(self.computed),
+                "memo_hits": dict(self.memo_hits),
+                "disk_hits": dict(self.disk_hits),
+            }
 
     def stages(self) -> List[str]:
         """Every stage name seen so far, sorted."""
-        names = set(self.computed) | set(self.memo_hits) | set(self.disk_hits)
+        with self._lock:
+            names = (
+                set(self.computed) | set(self.memo_hits) | set(self.disk_hits)
+            )
         return sorted(names)
 
     def breakdown(self) -> str:
@@ -148,22 +181,28 @@ class ArtifactStore:
         self.max_memory_entries = max_memory_entries
         self.disk = disk
         self.counters = StageCounters()
+        # The LRU's mutate-and-reorder operations are not atomic on
+        # their own; the lock makes one store shareable across server
+        # job threads (and keeps the process-global shared runner safe).
+        self._memory_lock = threading.RLock()
 
     # -- in-memory layer ----------------------------------------------
 
     def get(self, fingerprint: str) -> Optional[Any]:
         """The live artifact for ``fingerprint``, or ``None``."""
-        artifact = self._memory.get(fingerprint)
-        if artifact is not None:
-            self._memory.move_to_end(fingerprint)
-        return artifact
+        with self._memory_lock:
+            artifact = self._memory.get(fingerprint)
+            if artifact is not None:
+                self._memory.move_to_end(fingerprint)
+            return artifact
 
     def put(self, fingerprint: str, artifact: Any) -> None:
         """Keep ``artifact`` in the in-memory layer (LRU-bounded)."""
-        self._memory[fingerprint] = artifact
-        self._memory.move_to_end(fingerprint)
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
+        with self._memory_lock:
+            self._memory[fingerprint] = artifact
+            self._memory.move_to_end(fingerprint)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
 
     def reserve(self, entries: int) -> None:
         """Grow the LRU bound to at least ``entries`` (never shrinks).
@@ -172,17 +211,21 @@ class ArtifactStore:
         whose incremental guarantee dies silently if one run's artifacts
         exceed the bound -- size the store before filling it.
         """
-        if entries > self.max_memory_entries:
-            self.max_memory_entries = entries
+        with self._memory_lock:
+            if entries > self.max_memory_entries:
+                self.max_memory_entries = entries
 
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._memory
+        with self._memory_lock:
+            return fingerprint in self._memory
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._memory_lock:
+            return len(self._memory)
 
     def clear_memory(self) -> None:
-        self._memory.clear()
+        with self._memory_lock:
+            self._memory.clear()
 
     # -- disk layer ---------------------------------------------------
 

@@ -26,6 +26,23 @@ This module makes the workload a first-class *driver* layer:
 drivers share; everything that replays a design (the synthesis
 validation stage, scenario-suite latency replay, engine evaluation)
 routes through it.
+
+Contracts
+---------
+* **Content addressing.** Every driver exposes
+  :meth:`WorkloadDriver.workload_key` -- a JSON-able content key the
+  replay stage fingerprints together with the fabric bindings and the
+  cycle budget, so simulated latencies are cacheable; drivers that
+  cannot be content-addressed raise and their replays simply never
+  cache.
+* **Caching.** Drivers hold no cache themselves -- replay results
+  persist as :class:`~repro.pipeline.artifacts.ReplayArtifact` stage
+  entries through the pipeline store.
+* **Determinism.** A driver's programs are rebuilt fresh per
+  simulation and are deterministic given the driver's inputs: the
+  program-driven and trace-driven paths produce identical
+  per-transaction timestamps when replaying a recording on its source
+  fabric (asserted by ``tests/platform/test_drivers.py``).
 """
 
 from __future__ import annotations

@@ -15,6 +15,22 @@ fleet-scale design service:
   :class:`~repro.exec.engine.ExecutionEngine`, one robust design via
   :class:`~repro.core.multi.RobustSynthesizer`, per-scenario replay
   validation and an aggregated report with a Pareto view.
+
+Contracts
+---------
+* **Content addressing.** Scenario traffic is content-addressed like
+  any trace: per-scenario window/conflict/bind stages and the
+  suite-level merged bind carry pipeline fingerprints, and individual
+  solves are whole-result-keyed through the execution engine.
+* **Caching.** The suite runner keeps its artifact store alive across
+  :meth:`~repro.scenarios.runner.ScenarioSuiteRunner.run` calls --
+  editing a suite re-executes only the changed scenarios' stages
+  (incremental re-synthesis) -- and persists serializable stages into
+  the engine's cache directory when one is configured.
+* **Determinism.** Suites and scenarios are deterministic given their
+  seeds and weights; a warm rerun's report is byte-identical to a cold
+  run at any ``jobs`` count (asserted by the incremental and
+  replay-determinism suites).
 """
 
 from repro.scenarios.model import (

@@ -1,0 +1,48 @@
+"""Synthesis-as-a-service: the ``repro serve`` daemon.
+
+The reproduction's front ends so far were one-shot processes: build a
+trace, solve, print, exit. This subpackage turns the same platform into
+a long-lived HTTP/JSON service -- the deployment shape a design team
+actually shares a solver farm through:
+
+* :mod:`~repro.server.schemas` -- validated job requests with content
+  fingerprints (the coalescing key),
+* :mod:`~repro.server.coalesce` -- single-flight admission: identical
+  in-flight requests share one solve,
+* :mod:`~repro.server.jobs` -- the async job model and worker queue
+  with graceful draining,
+* :mod:`~repro.server.service` -- jobs wired to the execution engine,
+  pipeline stores and caches (HTTP-free, directly testable),
+* :mod:`~repro.server.app` -- the stdlib ``ThreadingHTTPServer``
+  surface (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``/v1/stats``,
+  ``/v1/health``).
+
+No third-party dependencies: the daemon is ``python -m``-grade stdlib
+HTTP on top of the existing engine, exactly like the rest of the repo.
+"""
+
+from repro.server.coalesce import RequestCoalescer
+from repro.server.jobs import Job, JobQueue
+from repro.server.schemas import (
+    DesignRequest,
+    JobRequest,
+    RequestError,
+    SuiteRequest,
+    parse_job_request,
+)
+from repro.server.service import SynthesisService
+from repro.server.app import SynthesisServer, serve
+
+__all__ = [
+    "RequestCoalescer",
+    "Job",
+    "JobQueue",
+    "JobRequest",
+    "DesignRequest",
+    "SuiteRequest",
+    "RequestError",
+    "parse_job_request",
+    "SynthesisService",
+    "SynthesisServer",
+    "serve",
+]

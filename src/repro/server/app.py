@@ -1,0 +1,238 @@
+"""HTTP surface of the synthesis daemon.
+
+A thin, dependency-free translation layer: stdlib
+:class:`~http.server.ThreadingHTTPServer` handlers parse the URL and
+body, delegate to :class:`~repro.server.service.SynthesisService`, and
+encode the answer as JSON. No synthesis logic lives here -- the service
+is fully testable without sockets, and the HTTP tests only need to
+cover the translation.
+
+Endpoints (all JSON; see docs/http-api.md for schemas and examples)::
+
+    POST /v1/jobs           submit a job          -> 202 {job, disposition}
+    GET  /v1/jobs           list known jobs       -> 200 {jobs: [...]}
+    GET  /v1/jobs/<id>      job status + result   -> 200 {state, ...}
+    GET  /v1/stats          daemon observability  -> 200 {...}
+    GET  /v1/health         liveness probe        -> 200 {status: "ok"}
+
+``GET /v1/jobs/<id>?wait=<seconds>`` long-polls: the response is sent
+as soon as the job turns terminal, or with its current state once the
+timeout (capped at 60 s) elapses.
+
+Errors are JSON bodies too -- ``{"error": {"message": ..., ...}}`` --
+with 400 for malformed requests, 404 for unknown paths/jobs, 405 for
+bad methods, 503 once shutdown began.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.server.schemas import RequestError
+from repro.server.service import SynthesisService
+
+__all__ = ["SynthesisServer", "serve"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024  # inline suites are small; 8 MiB is ample
+_MAX_WAIT_SECONDS = 60.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the service hangs off the server object."""
+
+    server: "SynthesisServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str, **details) -> None:
+        error: Dict[str, Any] = {"message": message}
+        if details:
+            error.update(details)
+        self._send_json(status, {"error": error})
+
+    def _read_json_body(self) -> Any:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            raise RequestError("missing or invalid Content-Length header")
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body must be 0..{_MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(f"request body is not valid JSON: {error}")
+
+    # -- routing ------------------------------------------------------
+
+    def _route(self) -> Tuple[str, Dict[str, Any]]:
+        parts = urlsplit(self.path)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(parts.query).items()
+        }
+        return parts.path.rstrip("/") or "/", query
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        path, _query = self._route()
+        if path != "/v1/jobs":
+            self._send_error_json(404, f"no such resource: {path}")
+            return
+        if self.server.draining.is_set():
+            self._send_error_json(503, "server is shutting down")
+            return
+        try:
+            payload = self._read_json_body()
+            job, disposition = self.server.service.submit(payload)
+        except RequestError as error:
+            self._send_error_json(400, str(error), **error.details)
+            return
+        except RuntimeError:
+            # The queue closed between the drain check and the submit.
+            self._send_error_json(503, "server is shutting down")
+            return
+        self._send_json(
+            202,
+            {
+                "job": job.id,
+                "fingerprint": job.fingerprint,
+                "disposition": disposition,
+                "state": job.status(include_result=False)["state"],
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        path, query = self._route()
+        if path == "/v1/health":
+            self._send_json(200, {"status": "ok"})
+            return
+        if path == "/v1/stats":
+            self._send_json(200, self.server.service.stats())
+            return
+        if path == "/v1/jobs":
+            jobs = [
+                job.status(include_result=False)
+                for job in self.server.service.queue.jobs()
+            ]
+            self._send_json(200, {"jobs": jobs})
+            return
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            job = self.server.service.queue.get(job_id)
+            if job is None:
+                self._send_error_json(404, f"no such job: {job_id}")
+                return
+            wait = query.get("wait")
+            if wait is not None:
+                try:
+                    seconds = min(float(wait), _MAX_WAIT_SECONDS)
+                except ValueError:
+                    self._send_error_json(
+                        400, "query parameter 'wait' must be a number"
+                    )
+                    return
+                job.wait(max(seconds, 0.0))
+            self._send_json(200, job.status())
+            return
+        self._send_error_json(404, f"no such resource: {path}")
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._send_error_json(405, "method not allowed")
+
+    do_DELETE = do_PUT
+    do_PATCH = do_PUT
+
+
+class SynthesisServer(ThreadingHTTPServer):
+    """The daemon: a threading HTTP server owning one service.
+
+    ``start()`` serves on a background thread (tests and the CLI both
+    use it); ``stop(drain=True)`` closes the listener, refuses new
+    jobs, and drains the queue so in-flight jobs reach a terminal state
+    before the call returns.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        engine_jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        workers: int = 2,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = SynthesisService(
+            engine_jobs=engine_jobs, cache_dir=cache_dir, workers=workers
+        )
+        self.verbose = verbose
+        self.draining = threading.Event()
+        self._serve_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Serve requests on a background thread until :meth:`stop`."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve",
+            daemon=True,
+        )
+        self._serve_thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: refuse new jobs, then drain the queue."""
+        self.draining.set()
+        self.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+            self._serve_thread = None
+        self.server_close()
+        self.service.close(drain=drain)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    engine_jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    workers: int = 2,
+    verbose: bool = False,
+) -> SynthesisServer:
+    """Build and start a daemon; the caller owns ``stop()``."""
+    server = SynthesisServer(
+        host=host,
+        port=port,
+        engine_jobs=engine_jobs,
+        cache_dir=cache_dir,
+        workers=workers,
+        verbose=verbose,
+    )
+    server.start()
+    return server

@@ -1,0 +1,94 @@
+"""Request coalescing by content address.
+
+The daemon content-addresses every job request (see
+:mod:`repro.server.schemas`); the :class:`RequestCoalescer` is the
+registry that turns identical addresses into shared work:
+
+* two **in-flight** requests with the same fingerprint share one job --
+  the second ``POST`` returns the first job's id (disposition
+  ``"coalesced"``) and both clients poll the same solve;
+* a fingerprint that already **finished** is served from the registry
+  (disposition ``"finished"``) without re-queueing -- the artifact and
+  whole-result stores below make that hit cheap across restarts too;
+* a **failed** job is evicted on admission, so resubmitting after a
+  failure retries instead of replaying the stored error forever.
+
+All transitions happen under one lock; the check-then-register race two
+concurrent submitters would otherwise hit (both miss, both enqueue) is
+exactly what this type exists to close.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.server.jobs import Job
+
+__all__ = ["RequestCoalescer"]
+
+
+class RequestCoalescer:
+    """Fingerprint -> job registry with single-flight admission."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self.submitted = 0
+        self.executed = 0
+        self.coalesced = 0
+        self.finished_hits = 0
+
+    def admit(
+        self, fingerprint: str, create: Callable[[], Job]
+    ) -> Tuple[Job, str]:
+        """Admit a request, sharing any live job for ``fingerprint``.
+
+        Returns ``(job, disposition)`` with disposition one of:
+
+        ``"new"``
+            No usable job existed; ``create()`` was called (under the
+            lock, so exactly once per fingerprint) and its job is now
+            the registry entry. The caller must enqueue it.
+        ``"coalesced"``
+            A queued or running job for the same fingerprint exists;
+            that job is returned and nothing is enqueued.
+        ``"finished"``
+            The fingerprint already completed successfully; the done
+            job (result attached) is returned without re-queueing.
+
+        Failed registry entries are evicted here so the new request
+        retries from scratch.
+        """
+        with self._lock:
+            self.submitted += 1
+            existing = self._jobs.get(fingerprint)
+            if existing is not None:
+                if existing.state in ("queued", "running"):
+                    self.coalesced += 1
+                    existing.coalesced += 1
+                    return existing, "coalesced"
+                if existing.state == "done":
+                    self.finished_hits += 1
+                    return existing, "finished"
+                # failed: fall through and retry with a fresh job
+                del self._jobs[fingerprint]
+            job = create()
+            self._jobs[fingerprint] = job
+            self.executed += 1
+            return job, "new"
+
+    def lookup(self, fingerprint: str) -> Optional[Job]:
+        """The registry's job for ``fingerprint``, if any."""
+        with self._lock:
+            return self._jobs.get(fingerprint)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the ``/v1/stats`` endpoint (one consistent read)."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "executed": self.executed,
+                "coalesced": self.coalesced,
+                "finished_hits": self.finished_hits,
+            }

@@ -1,0 +1,227 @@
+"""Asynchronous job model and worker queue of the synthesis daemon.
+
+A :class:`Job` is one admitted unit of work: it carries the parsed
+request, its content fingerprint, a queued/running/done/failed state
+machine, live per-stage progress (fed by the pipeline's
+:class:`~repro.pipeline.store.StageCounters` observers) and -- once
+terminal -- either the JSON result or the error message. Jobs are
+plain shared-state objects: HTTP handler threads read them while a
+worker thread mutates them, so every mutation happens under the job's
+lock and :meth:`Job.status` returns a consistent copy.
+
+The :class:`JobQueue` runs jobs on a small pool of daemon worker
+threads fed from a FIFO. Shutdown is graceful by default: the queue
+stops accepting work, sends one sentinel per worker, and joins them --
+every job admitted before shutdown still runs to a terminal state, so
+clients polling an in-flight job never see it vanish.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.server.schemas import JobRequest
+
+__all__ = ["Job", "JobQueue"]
+
+_STATES = ("queued", "running", "done", "failed")
+
+
+class Job:
+    """One admitted synthesis job (see module docstring)."""
+
+    def __init__(self, job_id: str, request: JobRequest, fingerprint: str):
+        self.id = job_id
+        self.request = request
+        self.fingerprint = fingerprint
+        self.state = "queued"
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.coalesced = 0
+        """How many later identical requests shared this job."""
+        self.progress: Dict[str, Dict[str, int]] = {}
+        """Live per-stage tallies: ``{stage: {computed, memo_hit, disk_hit}}``."""
+        self._lock = threading.Lock()
+        self._terminal = threading.Event()
+
+    # -- worker-side transitions --------------------------------------
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.state = "running"
+            self.started_at = time.time()
+
+    def mark_done(self, result: Dict[str, Any]) -> None:
+        with self._lock:
+            self.state = "done"
+            self.result = result
+            self.finished_at = time.time()
+        self._terminal.set()
+
+    def mark_failed(self, error: str) -> None:
+        with self._lock:
+            self.state = "failed"
+            self.error = error
+            self.finished_at = time.time()
+        self._terminal.set()
+
+    def record_progress(self, kind: str, stage: str) -> None:
+        """Tally one stage event (wired to ``StageCounters.subscribe``)."""
+        with self._lock:
+            row = self.progress.setdefault(
+                stage, {"computed": 0, "memo_hit": 0, "disk_hit": 0}
+            )
+            row[kind] = row.get(kind, 0) + 1
+
+    # -- reader side --------------------------------------------------
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; ``True`` if it is."""
+        return self._terminal.wait(timeout)
+
+    def status(self, include_result: bool = True) -> Dict[str, Any]:
+        """A consistent JSON-ready snapshot of this job."""
+        with self._lock:
+            payload: Dict[str, Any] = {
+                "job": self.id,
+                "kind": self.request.kind,
+                "description": self.request.describe(),
+                "fingerprint": self.fingerprint,
+                "state": self.state,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "coalesced": self.coalesced,
+                "progress": {
+                    stage: dict(row) for stage, row in self.progress.items()
+                },
+            }
+            if self.state == "failed":
+                payload["error"] = self.error
+            if include_result and self.state == "done":
+                payload["result"] = self.result
+            return payload
+
+
+class JobQueue:
+    """FIFO of jobs drained by ``workers`` daemon threads.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(job)`` runs one job to completion and returns its JSON
+        result; exceptions mark the job failed. Provided by
+        :class:`~repro.server.service.SynthesisService`.
+    workers:
+        Concurrent solver slots. Each running job may additionally use
+        the execution engine's process pool internally, so this stays
+        small by default.
+    """
+
+    def __init__(
+        self, execute: Callable[[Job], Dict[str, Any]], workers: int = 2
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._execute = execute
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._accepting = True
+        self._active = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-job-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def new_job(self, request: JobRequest, fingerprint: str) -> Job:
+        """Create and index a job record (not yet enqueued)."""
+        job = Job(f"job-{next(self._ids)}", request, fingerprint)
+        with self._lock:
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        return job
+
+    def submit(self, job: Job) -> None:
+        """Enqueue ``job`` for execution."""
+        with self._lock:
+            if not self._accepting:
+                raise RuntimeError("job queue is shutting down")
+        self._queue.put(job)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, oldest first."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def depth(self) -> int:
+        """Jobs admitted but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    def active(self) -> int:
+        """Jobs currently executing on a worker."""
+        with self._lock:
+            return self._active
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            with self._lock:
+                self._active += 1
+            job.mark_running()
+            try:
+                result = self._execute(job)
+            except Exception as error:  # job isolation: one bad job
+                job.mark_failed(f"{type(error).__name__}: {error}")
+            else:
+                job.mark_done(result)
+            finally:
+                with self._lock:
+                    self._active -= 1
+                self._queue.task_done()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the workers.
+
+        With ``drain=True`` (the default), already-queued jobs run to
+        completion before the workers exit; with ``drain=False`` the
+        queue is emptied first and the abandoned jobs are marked failed
+        so no poller waits forever on a job that will never run.
+        """
+        with self._lock:
+            if not self._accepting:
+                return
+            self._accepting = False
+        if not drain:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is not None:
+                    job.mark_failed("server shut down before execution")
+                self._queue.task_done()
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join()

@@ -1,0 +1,300 @@
+"""The synthesis service: jobs wired to the platform underneath.
+
+:class:`SynthesisService` is the HTTP-free core of the daemon -- the
+app layer (:mod:`repro.server.app`) only translates requests into
+:meth:`SynthesisService.submit` / job lookups / :meth:`stats` calls, so
+everything here is directly testable without sockets.
+
+One service owns:
+
+* one :class:`~repro.exec.engine.ExecutionEngine` (shared whole-result
+  :class:`~repro.exec.cache.ResultCache` and parallelism budget); suite
+  jobs run on job-scoped engines (:meth:`ExecutionEngine.scoped`)
+  sharing that cache instance, so concurrent jobs never contend on a
+  pool but do share every solved point;
+* one :class:`~repro.server.coalesce.RequestCoalescer` keyed by request
+  content fingerprints -- identical in-flight requests share a single
+  solve, repeated finished requests are served from the registry;
+* one :class:`~repro.server.jobs.JobQueue` of daemon workers.
+
+Warm paths stack beneath the coalescer: a design request whose task key
+is already in the whole-result cache completes instantly (disposition
+``"cached"``) without ever enqueueing, and a request that must run still
+reuses persisted stage artifacts (windows, conflicts, bindings) through
+its job-scoped :class:`~repro.pipeline.PipelineRunner` store.
+
+Per-job progress is streamed by subscribing the job's
+:meth:`~repro.server.jobs.Job.record_progress` to the runner's
+:class:`~repro.pipeline.store.StageCounters`; pollers see live
+per-stage computed/memo-hit/disk-hit tallies while the job runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core import CrossbarSynthesizer, SynthesisConfig
+from repro.core.instrumentation import SOLVE_COUNTER
+from repro.exec.cache import ResultCache
+from repro.exec.engine import ExecutionEngine
+from repro.exec.fingerprint import task_key, trace_fingerprint
+from repro.exec.serialize import (
+    RESULT_FORMAT,
+    SynthesisResult,
+    result_to_dict,
+)
+from repro.pipeline import ArtifactStore, PipelineRunner
+from repro.server.coalesce import RequestCoalescer
+from repro.server.jobs import Job, JobQueue
+from repro.server.schemas import (
+    DesignRequest,
+    SuiteRequest,
+    parse_job_request,
+)
+
+__all__ = ["SynthesisService", "DESIGN_REPORT_FORMAT"]
+
+DESIGN_REPORT_FORMAT = "repro-server-design-v1"
+
+
+class SynthesisService:
+    """Content-addressed synthesis jobs over the execution platform.
+
+    Parameters
+    ----------
+    engine_jobs:
+        Process-pool width of each job's engine (1 = serial in the
+        worker thread).
+    cache_dir:
+        Whole-result/stage cache directory; ``None`` disables every
+        disk layer (in-flight coalescing still works).
+    workers:
+        Concurrent job slots in the queue.
+    """
+
+    def __init__(
+        self,
+        engine_jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        workers: int = 2,
+    ) -> None:
+        self.engine = ExecutionEngine(jobs=engine_jobs, cache=cache_dir)
+        self.coalescer = RequestCoalescer()
+        self.queue = JobQueue(self._execute, workers=workers)
+        self._stats_lock = threading.Lock()
+        self._cached_hits = 0
+        self._solves = 0
+        # Solver-level observability: every MILP/assignment solve in
+        # this process tallies here (job threads and the serial path
+        # alike; pool workers solve in children, which is precisely the
+        # signal -- in-process solves are the coalescable ones).
+        self._solve_observer = self._on_solve
+        SOLVE_COUNTER.subscribe(self._solve_observer)
+
+    def _on_solve(self, kind: str) -> None:
+        with self._stats_lock:
+            self._solves += 1
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the queue (draining by default) and detach observers."""
+        self.queue.shutdown(drain=drain)
+        try:
+            SOLVE_COUNTER.unsubscribe(self._solve_observer)
+        except ValueError:  # pragma: no cover - already detached
+            pass
+
+    # -- admission ----------------------------------------------------
+
+    def submit(self, payload: Any) -> Tuple[Job, str]:
+        """Parse, content-address, coalesce and (if new) enqueue.
+
+        Returns ``(job, disposition)`` where disposition extends the
+        coalescer's vocabulary with ``"cached"``: the request was new to
+        the registry but its result was already in the whole-result
+        cache, so the job completed synchronously without queueing.
+
+        Raises :class:`~repro.server.schemas.RequestError` on malformed
+        payloads -- nothing invalid is ever admitted.
+        """
+        request = parse_job_request(payload)
+        fingerprint = request.fingerprint()
+        job, disposition = self.coalescer.admit(
+            fingerprint,
+            lambda: self.queue.new_job(request, fingerprint),
+        )
+        if disposition != "new":
+            return job, disposition
+        warm = self._warm_lookup(request)
+        if warm is not None:
+            with self._stats_lock:
+                self._cached_hits += 1
+            job.mark_done(warm)
+            return job, "cached"
+        self.queue.submit(job)
+        return job, "new"
+
+    def _warm_lookup(self, request) -> Optional[Dict[str, Any]]:
+        """A completed result from the persistent caches, or ``None``.
+
+        Design points are whole-result cached under their task key, so
+        a restarted daemon still answers repeat requests without
+        queueing them. Suite reports are not whole-result cached (their
+        stage artifacts are), so suites always queue -- their warm path
+        is fast, not instant.
+        """
+        if not isinstance(request, DesignRequest):
+            return None
+        if self.engine.cache is None:
+            return None
+        trace, config, window = self._design_inputs(request)
+        key = task_key(
+            trace_fingerprint(trace), config, window, request.app
+        )
+        cached = self.engine.cache.get(key)
+        if cached is None:
+            return None
+        return self._design_payload(request, trace, config, window, cached)
+
+    # -- execution ----------------------------------------------------
+
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        request = job.request
+        if isinstance(request, DesignRequest):
+            return self._run_design(job, request)
+        if isinstance(request, SuiteRequest):
+            return self._run_suite(job, request)
+        raise TypeError(
+            f"no executor for request type {type(request).__name__}"
+        )  # pragma: no cover - parse layer admits only known kinds
+
+    def _job_runner(self) -> PipelineRunner:
+        """A job-scoped stage runner persisting through the shared
+        cache directory (separate :class:`ResultCache` instance, same
+        accounting discipline as the suite runner's)."""
+        disk = None
+        if self.engine.cache is not None:
+            disk = ResultCache(self.engine.cache.cache_dir)
+        return PipelineRunner(
+            store=ArtifactStore(disk=disk), memoize_bindings=True
+        )
+
+    @staticmethod
+    def _design_inputs(request: DesignRequest):
+        from repro.apps import default_full_crossbar_trace
+
+        trace = default_full_crossbar_trace(request.app)
+        config = SynthesisConfig(
+            window_size=request.window,
+            overlap_threshold=request.threshold,
+            max_targets_per_bus=request.maxtb,
+            backend=request.backend,
+        )
+        return trace, config, request.resolved_window()
+
+    def _design_payload(
+        self,
+        request: DesignRequest,
+        trace,
+        config: SynthesisConfig,
+        window: int,
+        result: SynthesisResult,
+    ) -> Dict[str, Any]:
+        runner = PipelineRunner()  # fingerprint derivation only
+        return {
+            "format": DESIGN_REPORT_FORMAT,
+            "app": request.app,
+            "window": window,
+            "design_fingerprint": runner.design_fingerprint(
+                trace_fingerprint(trace), config, window
+            ),
+            "result": result_to_dict(result),
+            "result_format": RESULT_FORMAT,
+        }
+
+    def _run_design(
+        self, job: Job, request: DesignRequest
+    ) -> Dict[str, Any]:
+        trace, config, window = self._design_inputs(request)
+        runner = self._job_runner()
+        runner.counters.subscribe(job.record_progress)
+        try:
+            report = CrossbarSynthesizer(
+                config, pipeline=runner
+            ).design_from_trace(trace, window)
+        finally:
+            runner.counters.unsubscribe(job.record_progress)
+        result = SynthesisResult.from_report(report)
+        if self.engine.cache is not None:
+            key = task_key(
+                trace_fingerprint(trace), config, window, request.app
+            )
+            self.engine.cache.put(key, result)
+        return self._design_payload(request, trace, config, window, result)
+
+    def _run_suite(self, job: Job, request: SuiteRequest) -> Dict[str, Any]:
+        from repro.scenarios import (
+            ScenarioSuiteRunner,
+            build_suite,
+            suite_from_dict,
+        )
+
+        if request.suite:
+            suite = build_suite(request.suite)
+        else:
+            suite = suite_from_dict(request.suite_dict())
+        runner = ScenarioSuiteRunner(
+            engine=self.engine.scoped(),
+            config=SynthesisConfig(
+                overlap_threshold=request.threshold,
+                max_targets_per_bus=request.maxtb,
+            ),
+            policy=request.policy,
+            min_weight=request.min_weight,
+            replay_latency=request.replay_latency,
+            pipeline=self._job_runner(),
+        )
+        runner.pipeline.counters.subscribe(job.record_progress)
+        try:
+            report = runner.run(suite)
+        finally:
+            runner.pipeline.counters.unsubscribe(job.record_progress)
+        return report.to_dict()
+
+    # -- observability ------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/v1/stats`` payload (see docs/http-api.md)."""
+        jobs = self.queue.jobs()
+        states: Dict[str, int] = {}
+        for job in jobs:
+            states[job.state] = states.get(job.state, 0) + 1
+        payload: Dict[str, Any] = {
+            "queue": {
+                "depth": self.queue.depth(),
+                "active": self.queue.active(),
+                "jobs": states,
+            },
+            "coalescing": self.coalescer.stats(),
+            "solves": {
+                "in_process": self._solves,
+                "feasibility": SOLVE_COUNTER.feasibility,
+                "binding": SOLVE_COUNTER.binding,
+            },
+        }
+        with self._stats_lock:
+            payload["coalescing"]["cached_hits"] = self._cached_hits
+        cache = self.engine.cache
+        if cache is not None:
+            usage = cache.usage()
+            payload["cache"] = {
+                "dir": str(cache.cache_dir),
+                "entries": usage.entries,
+                "total_bytes": usage.total_bytes,
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "stores": cache.stats.stores,
+            }
+        else:
+            payload["cache"] = None
+        return payload

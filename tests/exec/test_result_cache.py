@@ -218,3 +218,72 @@ class TestUsageAndPrune:
         assert cache.usage().entries == 1
         assert cache.prune(0) == 1
         assert (tmp_path / "report.v2.json").exists()  # left untouched
+
+
+class TestConcurrency:
+    """The daemon shares one cache across handler and worker threads;
+    maintenance walks and statistics must survive the races."""
+
+    def test_usage_and_prune_tolerate_racing_writers(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        stop = threading.Event()
+        errors = []
+
+        def churn(prefix):
+            i = 0
+            try:
+                while not stop.is_set():
+                    key = f"{prefix}{i % 20:064d}"[-64:]
+                    cache.put_json(key, {"i": i})
+                    i += 1
+            except Exception as error:  # pragma: no cover - the failure
+                errors.append(error)
+
+        def maintain():
+            try:
+                while not stop.is_set():
+                    cache.usage()
+                    cache.prune(256)
+            except Exception as error:  # pragma: no cover - the failure
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=churn, args=("a",)),
+            threading.Thread(target=churn, args=("b",)),
+            threading.Thread(target=maintain),
+            threading.Thread(target=maintain),
+        ]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        usage = cache.usage()  # still a coherent view afterwards
+        assert usage.entries >= 0
+
+    def test_stats_updates_are_not_lost_across_threads(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        cache.put_json("c" * 64, {"v": 1})
+        per_thread = 200
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    cache.get_json("c" * 64) for _ in range(per_thread)
+                ]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.stats.hits == 4 * per_thread
+        assert cache.stats.stores == 1

@@ -17,6 +17,15 @@ class TestParser:
         assert args.maxtb == 4
         assert not args.validate
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.workers == 2
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.verbose
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (run by the CI docs job).
+
+Two classes of rot this catches:
+
+* **Broken internal links** -- every relative markdown link in
+  ``README.md`` and ``docs/*.md`` must resolve to an existing file
+  (anchors are stripped; external ``http(s):`` links are not fetched).
+* **Stale CLI examples** -- every fenced ``repro …`` invocation in the
+  docs must still parse against the real argument parser
+  (``repro.cli.build_parser``), and every referenced subcommand must
+  answer ``--help`` with exit code 0. Commands are parsed, never
+  executed, so the check is fast and side-effect free.
+
+Exit code 0 when everything holds, 1 with a per-problem report
+otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+DOC_FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```")
+
+
+def iter_links(text: str):
+    for match in LINK_RE.finditer(text):
+        yield match.group(1)
+
+
+def check_links() -> list:
+    problems = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        for target in iter_links(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}"
+                )
+    return problems
+
+
+def iter_fenced_commands(text: str):
+    """Every ``repro …`` invocation in fenced code blocks, with
+    backslash line continuations joined."""
+    in_fence = False
+    pending = ""
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            pending = ""
+            continue
+        if not in_fence:
+            continue
+        line = pending + line.strip()
+        pending = ""
+        if line.endswith("\\"):
+            pending = line[:-1] + " "
+            continue
+        if line.startswith("repro ") or line == "repro":
+            yield line
+
+
+def check_cli_examples() -> list:
+    from repro.cli import build_parser
+
+    problems = []
+    subcommands = set()
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        for command in iter_fenced_commands(text):
+            if "<" in command:  # placeholder form like `repro <command>`
+                continue
+            try:
+                tokens = shlex.split(command, comments=True)[1:]
+            except ValueError as error:
+                problems.append(
+                    f"{doc.relative_to(REPO)}: unparseable example "
+                    f"{command!r} ({error})"
+                )
+                continue
+            if tokens:
+                subcommands.add(tokens[0])
+                if len(tokens) > 1 and not tokens[1].startswith("-"):
+                    # possible nested subcommand (scenarios run, ...)
+                    subcommands.add((tokens[0], tokens[1]))
+            try:
+                build_parser().parse_args(tokens)
+            except SystemExit as error:
+                if error.code not in (0, None):
+                    problems.append(
+                        f"{doc.relative_to(REPO)}: example does not "
+                        f"parse: {command!r}"
+                    )
+    for entry in sorted(
+        subcommands, key=lambda e: e if isinstance(e, tuple) else (e,)
+    ):
+        argv = list(entry) if isinstance(entry, tuple) else [entry]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", *argv, "--help"],
+            capture_output=True,
+            cwd=REPO,
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        )
+        if proc.returncode != 0:
+            problems.append(
+                f"`repro {' '.join(argv)} --help` exited "
+                f"{proc.returncode}: {proc.stderr.decode()[:200]}"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_cli_examples()
+    if problems:
+        print(f"docs check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"docs check: OK ({len(DOC_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

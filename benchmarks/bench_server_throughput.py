@@ -16,6 +16,12 @@ paths end to end:
 The timed kernel is the warm path -- the daemon's steady-state answer
 latency -- and the CI gate asserts warm stays well under cold, i.e.
 that the coalescing/caching layers actually short-circuit the solver.
+
+A second bench (``test_server_fault_injected_burst``) times the same
+coalesced-burst shape against a daemon whose pool workers crash on
+every first task attempt (a seeded ``repro.resilience`` plan): the
+cost of crash -> pool rebuild -> per-task retry, end to end over HTTP,
+with the answer asserted byte-identical to a fault-free daemon's.
 """
 
 import json
@@ -147,6 +153,140 @@ def test_server_throughput(benchmark, results_dir):
                 "(0 solver calls)",
                 f"  coalesced burst   {burst_seconds * 1e3:9.1f} ms "
                 f"({burst} submitters, {burst_solves} solver calls)",
+            ]
+        ),
+    )
+
+
+def test_server_fault_injected_burst(benchmark, results_dir):
+    """Chaos burst: coalesced suite solve under injected worker crashes.
+
+    Every pool worker's *first* attempt at a task crashes (seeded
+    ``worker.crash`` plan, match ``*:a0``), so the timed request pays
+    the full recovery ladder -- broken pool, one rebuild, per-task
+    retries -- and must still return a report byte-identical to a
+    fault-free daemon's. The gate is correctness-under-chaos plus the
+    degradation being *visible* (engine counters, fired tallies,
+    degraded health); the timing records what recovery costs end to
+    end over HTTP.
+    """
+    from repro.resilience import (
+        FaultPlan,
+        FaultRule,
+        clear_plan,
+        install_plan,
+    )
+    from repro.server import SynthesisServer
+
+    # Suite jobs fan scenario solves out through the job's scoped
+    # engine pool (design jobs solve in-thread), so this is the server
+    # path where worker crashes actually bite.
+    request = {"kind": "suite", "suite": "smoke"}
+
+    # Fault-free reference: the same request on a clean daemon.
+    with tempfile.TemporaryDirectory() as cache_dir:
+        server = SynthesisServer(
+            port=0, cache_dir=cache_dir, workers=2, engine_jobs=2
+        )
+        server.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            clean_begin = time.perf_counter()
+            clean = _submit_and_wait(base, request)
+            clean_seconds = time.perf_counter() - clean_begin
+        finally:
+            server.stop()
+    clean_bytes = json.dumps(clean["result"], sort_keys=True)
+
+    install_plan(
+        FaultPlan(
+            seed=7,
+            rules={"worker.crash": FaultRule(rate=1.0, match=("*:a0",))},
+        )
+    )
+    try:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            server = SynthesisServer(
+                port=0, cache_dir=cache_dir, workers=2, engine_jobs=2
+            )
+            server.start()
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            try:
+                burst = 6
+                lock = threading.Lock()
+
+                def chaos_burst():
+                    job_ids = []
+
+                    def submit():
+                        response = _post(base, request)
+                        with lock:
+                            job_ids.append(response["job"])
+
+                    threads = [
+                        threading.Thread(target=submit)
+                        for _ in range(burst)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                    assert len(set(job_ids)) == 1  # still single-flight
+                    done = _get(base, f"/v1/jobs/{job_ids[0]}?wait=120")
+                    assert done["state"] == "done", done.get("error")
+                    return done
+
+                done = benchmark.pedantic(
+                    chaos_burst, rounds=1, iterations=1
+                )
+                # The acceptance property: chaos may cost latency, never
+                # answers.
+                assert json.dumps(done["result"], sort_keys=True) == (
+                    clean_bytes
+                )
+
+                stats = _get(base, "/v1/stats")
+                assert stats["coalescing"]["coalesced"] >= burst - 1
+                engine = stats["engine"]
+                assert engine["task_retries"] >= 1
+                assert engine["pool_rebuilds"] >= 1
+                assert engine["degraded"] is True
+                faults = stats["faults"]
+                assert faults is not None
+                # fired tallies are process-local and the crashes fire
+                # inside pool workers; the *engine* counters above are
+                # the parent-visible proof they happened.
+                assert "worker.crash" in faults["points"]
+                assert faults["seed"] == 7
+                health = _get(base, "/v1/health")
+                assert health["degraded"] is True
+            finally:
+                server.stop()
+    finally:
+        clear_plan()
+
+    chaos_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["clean_seconds"] = round(clean_seconds, 4)
+    benchmark.extra_info["burst_size"] = burst
+    benchmark.extra_info["task_retries"] = engine["task_retries"]
+    benchmark.extra_info["pool_rebuilds"] = engine["pool_rebuilds"]
+    benchmark.extra_info["fault_points"] = faults["points"]
+    benchmark.extra_info["chaos_over_clean"] = round(
+        chaos_seconds / clean_seconds, 4
+    )
+
+    emit(
+        results_dir,
+        "server_fault_injected_burst",
+        "\n".join(
+            [
+                "repro serve chaos burst (suite smoke, crash-first-attempt"
+                " plan)",
+                f"  fault-free solve  {clean_seconds * 1e3:9.1f} ms",
+                f"  chaos burst       {chaos_seconds * 1e3:9.1f} ms "
+                f"({burst} submitters, {engine['task_retries']} retries, "
+                f"{engine['pool_rebuilds']} pool rebuilds)",
+                "  report byte-identical to the fault-free daemon's",
             ]
         ),
     )

@@ -312,6 +312,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="log each HTTP request to stderr",
     )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="fail any job that runs longer than this wall-clock bound "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--finished-ttl", type=float, default=None, metavar="SECONDS",
+        help="evict finished jobs from the registries after this long; "
+        "the whole-result cache still answers warmly (default: keep "
+        "forever)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="shed new requests with 503 + Retry-After once N jobs are "
+        "queued (default: unbounded)",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="install a deterministic fault-injection plan (inline JSON "
+        "or a path to a JSON file) for chaos testing; exported to "
+        "workers via REPRO_FAULTS",
+    )
     return parser
 
 
@@ -664,6 +686,15 @@ def _cmd_serve(args) -> int:
 
     from repro.server import serve as start_server
 
+    if args.faults:
+        from repro.resilience import install_from_spec
+
+        plan = install_from_spec(args.faults)
+        print(
+            f"repro serve: fault injection ACTIVE "
+            f"(seed={plan.seed}, points={', '.join(sorted(plan.rules))})"
+        )
+
     server = start_server(
         host=args.host,
         port=args.port,
@@ -671,6 +702,9 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         workers=args.workers,
         verbose=args.verbose,
+        job_timeout=args.job_timeout,
+        finished_ttl=args.finished_ttl,
+        max_queue_depth=args.max_queue_depth,
     )
     stop = threading.Event()
 

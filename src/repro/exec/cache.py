@@ -33,6 +33,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
@@ -43,6 +44,7 @@ from repro.exec.serialize import (
     result_from_dict,
     result_to_dict,
 )
+from repro.resilience import maybe_io_error, should_corrupt_cache
 
 __all__ = ["CacheStats", "CacheUsage", "ResultCache"]
 
@@ -60,6 +62,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalid: int = 0
+    write_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -68,7 +71,8 @@ class CacheStats:
     def __str__(self) -> str:
         return (
             f"{self.hits}/{self.lookups} hits, {self.stores} stores, "
-            f"{self.invalid} invalid entries"
+            f"{self.invalid} invalid entries, "
+            f"{self.write_errors} write errors"
         )
 
 
@@ -103,6 +107,7 @@ class ResultCache:
         # atomic (os.replace) or vanish-tolerant and need no lock, so
         # threaded servers never contend on I/O through this.
         self._stats_lock = threading.Lock()
+        self.sweep_orphans()
 
     def _record(
         self,
@@ -110,6 +115,7 @@ class ResultCache:
         misses: int = 0,
         stores: int = 0,
         invalid: int = 0,
+        write_errors: int = 0,
     ) -> None:
         """Apply one statistics update atomically."""
         with self._stats_lock:
@@ -117,6 +123,7 @@ class ResultCache:
             self.stats.misses += misses
             self.stats.stores += stores
             self.stats.invalid += invalid
+            self.stats.write_errors += write_errors
 
     def _path(self, key: str) -> Path:
         if not key or any(ch in key for ch in "/\\."):
@@ -127,6 +134,11 @@ class ResultCache:
         """Raw payload for ``key``; raises on any unreadable entry."""
         path = self._path(key)
         payload = json.loads(path.read_text(encoding="utf-8"))
+        # Injection point ``cache.corrupt``: an existing entry decodes
+        # to garbage, taking exactly the real-corruption path (invalid
+        # miss -> re-solve -> overwrite). No-op without a FaultPlan.
+        if should_corrupt_cache(key):
+            raise ValueError(f"cache entry {key!r} corrupted (injected)")
         if not isinstance(payload, dict):
             raise ValueError(f"cache entry {key!r} is not a JSON object")
         return payload
@@ -188,24 +200,41 @@ class ResultCache:
         self.put_json(key, result_to_dict(result))
 
     def put_json(self, key: str, payload: Dict[str, Any]) -> None:
-        """Store a generic JSON entry under ``key`` atomically."""
+        """Store a generic JSON entry under ``key`` atomically.
+
+        Writes are best-effort: a transient :class:`OSError` (disk
+        squeeze, permission hiccup, the ``io.transient`` fault point)
+        is retried once, and a write that still fails is *swallowed* --
+        counted in :attr:`stats` as a ``write_error`` -- because a
+        cache that cannot persist must degrade to recomputation, never
+        take the solve that produced the value down with it.
+        Serialization errors (unencodable payloads) still raise: they
+        are caller bugs, not degraded storage.
+        """
         path = self._path(key)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         encoded = json.dumps(payload, sort_keys=True, indent=None)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(encoded)
-            os.replace(tmp_name, path)
-        except BaseException:
+        for attempt in range(2):
             try:
-                os.unlink(tmp_name)
+                maybe_io_error(f"{key}:a{attempt}")
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        handle.write(encoded)
+                    os.replace(tmp_name, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    raise
             except OSError:
-                pass
-            raise
-        self._record(stores=1)
+                continue
+            self._record(stores=1)
+            return
+        self._record(write_errors=1)
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -241,6 +270,38 @@ class ResultCache:
                 if any(ch in entry.stem for ch in "/\\."):
                     continue
                 yield entry
+
+    # Temp files older than this are assumed orphaned: no healthy
+    # writer holds a mkstemp file open for an hour.
+    ORPHAN_TMP_AGE_S = 3600.0
+
+    def sweep_orphans(self, max_age_s: Optional[float] = None) -> int:
+        """Delete orphaned ``.tmp-*`` files left by hard-killed writers.
+
+        :meth:`put_json` unlinks its temp file on every failure path it
+        can see, but a writer killed outright (a crashed pool worker, a
+        SIGKILLed server) leaves its temp file behind, invisible to
+        :meth:`keys`/:meth:`prune` and accumulating forever. The sweep
+        runs on construction and before :meth:`prune`, removing temp
+        files older than ``max_age_s`` (default
+        :attr:`ORPHAN_TMP_AGE_S`); the age guard keeps it from racing a
+        *live* writer's in-flight temp file in a shared directory.
+        Returns the number of files removed.
+        """
+        if max_age_s is None:
+            max_age_s = self.ORPHAN_TMP_AGE_S
+        if not self.cache_dir.is_dir():
+            return 0
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for entry in list(self.cache_dir.glob(".tmp-*")):
+            try:
+                if entry.stat().st_mtime <= cutoff:
+                    entry.unlink()
+                    removed += 1
+            except OSError:  # vanished mid-walk or unremovable: skip
+                continue
+        return removed
 
     def clear(self) -> int:
         """Delete every entry (JSON and ``.npz`` sidecars); returns the
@@ -288,6 +349,7 @@ class ResultCache:
         """
         if max_bytes < 0:
             raise ReproError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.sweep_orphans()
         aged = []
         total = 0
         for path in self._entry_files():

@@ -14,10 +14,16 @@ is an independent synthesis run over the same trace. The
   regardless of completion order, so parallel runs are byte-identical
   to serial ones.
 
-The pool is an optimization, never a requirement: any pool
-infrastructure failure (fork unavailable, broken worker, a stale worker
-trace) degrades to the serial path, and ``jobs=1`` bypasses the pool
-entirely.
+The pool is an optimization, never a requirement: pool infrastructure
+failures (fork unavailable, a crashed worker, a stale worker trace) are
+absorbed by a bounded recovery ladder -- per-task retries with capped
+backoff, then one pool rebuild, then serial execution for whatever
+remains -- governed by a :class:`~repro.resilience.RetryPolicy` and
+counted in :class:`~repro.resilience.EngineStats` so degradation is
+observable (``/v1/stats``) rather than silent. ``jobs=1`` bypasses the
+pool entirely. Whatever path a task takes, its result is identical:
+the chaos suite asserts byte-identical reports under injected worker
+crashes (``repro.resilience`` fault point ``worker.crash``).
 
 Every point is solved through the staged pipeline
 (:mod:`repro.pipeline`): the engine hands the task to
@@ -31,11 +37,12 @@ serial path and within each pool worker.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.spec import SynthesisConfig
 from repro.core.synthesis import CrossbarSynthesizer
@@ -43,6 +50,7 @@ from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache
 from repro.exec.fingerprint import task_key, trace_fingerprint
 from repro.exec.serialize import SynthesisResult
+from repro.resilience import EngineStats, RetryPolicy, maybe_crash_worker
 from repro.platform.drivers import TraceDrivenInitiator, simulate_workload
 from repro.platform.metrics import LatencyStats
 from repro.platform.soc import SoCConfig
@@ -158,7 +166,10 @@ def _run_replay_task(task: ReplayTask) -> ReplayOutcome:
     )
 
 
-def _replay_in_worker(index: int, task: ReplayTask) -> Tuple[int, ReplayOutcome]:
+def _replay_in_worker(
+    index: int, task: ReplayTask, attempt: int = 0
+) -> Tuple[int, ReplayOutcome]:
+    maybe_crash_worker(f"{index}:a{attempt}")
     return index, _run_replay_task(task)
 
 
@@ -198,8 +209,12 @@ def _install_worker_trace(
 
 
 def _solve_task_in_worker(
-    index: int, task: SynthesisTask, expected_digest: str
+    index: int, task: SynthesisTask, expected_digest: str, attempt: int = 0
 ) -> Tuple[int, SynthesisResult]:
+    # Fault keys carry the attempt number, so a plan matching ``*:a0``
+    # kills the first attempt and lets the retry through -- the chaos
+    # suite's "crash once, recover" scenario.
+    maybe_crash_worker(f"{index}:a{attempt}")
     if _WORKER_TRACE is None:
         raise StaleWorkerTraceError("pool initializer did not run")
     if _WORKER_TRACE_DIGEST != expected_digest:
@@ -219,9 +234,10 @@ def _solve_task(trace: TrafficTrace, task: SynthesisTask) -> SynthesisResult:
 
 
 def _solve_batch_item(
-    index: int, trace: TrafficTrace, task: SynthesisTask
+    index: int, trace: TrafficTrace, task: SynthesisTask, attempt: int = 0
 ) -> Tuple[int, SynthesisResult]:
     """Pool entry point for batch items, which carry their own trace."""
+    maybe_crash_worker(f"{index}:a{attempt}")
     warm_analytics(trace)
     return index, _solve_task(trace, task)
 
@@ -254,7 +270,9 @@ def _evaluate_in_worker(
     label: str,
     bus_count: int,
     budget: int,
+    attempt: int = 0,
 ) -> Tuple[int, EvaluationOutcome]:
+    maybe_crash_worker(f"{index}:a{attempt}")
     from repro.apps import build_application
 
     application = build_application(registry_key)
@@ -282,12 +300,21 @@ class ExecutionEngine:
     cache:
         A :class:`ResultCache`, a cache-directory path, or ``None`` to
         disable caching.
+    retry:
+        A :class:`~repro.resilience.RetryPolicy` bounding fault
+        recovery (defaults to one per-task retry + one pool rebuild).
+    stats:
+        An :class:`~repro.resilience.EngineStats` to tally recovery
+        events into; one is created when not supplied, and
+        :meth:`scoped` engines share their parent's instance.
     """
 
     def __init__(
         self,
         jobs: Optional[int] = 1,
         cache: Union[ResultCache, str, Path, None] = None,
+        retry: Optional[RetryPolicy] = None,
+        stats: Optional[EngineStats] = None,
     ) -> None:
         if jobs is None or jobs == 0:
             jobs = multiprocessing.cpu_count()
@@ -297,6 +324,8 @@ class ExecutionEngine:
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.stats = stats if stats is not None else EngineStats()
 
     def scoped(self, jobs: Optional[int] = None) -> "ExecutionEngine":
         """A job-scoped engine sharing this engine's cache instance.
@@ -307,12 +336,121 @@ class ExecutionEngine:
         while all jobs read and write *one* :class:`ResultCache`
         instance, so hit/miss statistics aggregate server-wide and two
         jobs never hold divergent views of the same cache directory.
+        The retry policy and degradation stats are shared the same way,
+        so ``/v1/stats`` reports recovery activity across all jobs.
 
         ``jobs=None`` inherits this engine's worker count.
         """
         return ExecutionEngine(
-            jobs=self.jobs if jobs is None else jobs, cache=self.cache
+            jobs=self.jobs if jobs is None else jobs,
+            cache=self.cache,
+            retry=self.retry,
+            stats=self.stats,
         )
+
+    # -- fault-tolerant pool fan-out ----------------------------------
+
+    def _pool_map(
+        self,
+        count: int,
+        make_pool: Callable[[], ProcessPoolExecutor],
+        submit_one: Callable[[ProcessPoolExecutor, int, int], "Future"],
+        serial_one: Callable[[int], object],
+    ) -> List[object]:
+        """Run ``count`` indexed tasks on a pool, absorbing pool faults.
+
+        The recovery ladder, bounded by :attr:`retry`:
+
+        1. a failed task is retried (``task_retries`` times), in the
+           existing pool when it is healthy or in a rebuilt one;
+        2. a broken pool is torn down and rebuilt at most
+           ``pool_rebuilds`` times, with capped exponential backoff;
+        3. whatever still fails past those budgets runs serially
+           in-process -- per task, not per batch.
+
+        Task-level *application* errors (a solver raising on a bad
+        formulation) are not recovery candidates: they propagate
+        unchanged, exactly as on the serial path. Only pool
+        infrastructure faults -- :class:`BrokenProcessPool`,
+        :class:`OSError`, :class:`StaleWorkerTraceError` -- climb the
+        ladder, and every rung taken is recorded in :attr:`stats`.
+        """
+        results: Dict[int, object] = {}
+        attempts = {index: 0 for index in range(count)}
+
+        def run_serially(indices: Sequence[int]) -> None:
+            self.stats.record_serial_fallback(len(indices))
+            for index in indices:
+                results[index] = serial_one(index)
+
+        try:
+            pool = make_pool()
+        except OSError:
+            run_serially(range(count))
+            return [results[index] for index in range(count)]
+
+        rebuilds = 0
+        pending = list(range(count))
+        try:
+            while pending:
+                futures = [
+                    (index, submit_one(pool, index, attempts[index]))
+                    for index in pending
+                ]
+                failed: List[int] = []
+                pool_broken = False
+                for index, future in futures:
+                    try:
+                        returned_index, result = future.result()
+                        results[returned_index] = result
+                    except StaleWorkerTraceError:
+                        failed.append(index)
+                    except (BrokenProcessPool, OSError):
+                        pool_broken = True
+                        failed.append(index)
+
+                retryable = [
+                    index
+                    for index in failed
+                    if attempts[index] < self.retry.task_retries
+                ]
+                exhausted = [
+                    index
+                    for index in failed
+                    if attempts[index] >= self.retry.task_retries
+                ]
+                if retryable:
+                    for index in retryable:
+                        attempts[index] += 1
+                    self.stats.record_task_retry(len(retryable))
+                if exhausted:
+                    run_serially(exhausted)
+
+                if pool_broken:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    pool = None
+                    if retryable:
+                        if rebuilds < self.retry.pool_rebuilds:
+                            time.sleep(self.retry.backoff_for(rebuilds))
+                            rebuilds += 1
+                            self.stats.record_pool_rebuild()
+                            try:
+                                pool = make_pool()
+                            except OSError:
+                                run_serially(retryable)
+                                retryable = []
+                        else:
+                            run_serially(retryable)
+                            retryable = []
+                pending = retryable
+        finally:
+            # wait=True: an abandoned manager thread races the
+            # interpreter's atexit hooks ("Bad file descriptor" noise on
+            # process exit); joining it is cheap even for a broken pool,
+            # whose dead workers make shutdown return immediately.
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        return [results[index] for index in range(count)]
 
     # -- synthesis ----------------------------------------------------
 
@@ -390,10 +528,7 @@ class ExecutionEngine:
         # compiling per sweep point.
         warm_analytics(trace)
         if self.jobs > 1 and len(tasks) > 1:
-            try:
-                return self._solve_parallel(trace, tasks)
-            except (BrokenProcessPool, OSError, StaleWorkerTraceError):
-                pass  # pool infrastructure failure: degrade to serial
+            return self._solve_parallel(trace, tasks)
         return [_solve_task(trace, task) for task in tasks]
 
     def _solve_parallel(
@@ -401,21 +536,24 @@ class ExecutionEngine:
     ) -> List[SynthesisResult]:
         workers = min(self.jobs, len(tasks))
         digest = trace_fingerprint(trace)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=_pool_context(),
-            initializer=_install_worker_trace,
-            initargs=(trace, digest),
-        ) as pool:
-            futures = [
-                pool.submit(_solve_task_in_worker, index, task, digest)
-                for index, task in enumerate(tasks)
-            ]
-            by_index: Dict[int, SynthesisResult] = {}
-            for future in futures:
-                index, result = future.result()
-                by_index[index] = result
-        return [by_index[index] for index in range(len(tasks))]
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=_pool_context(),
+                initializer=_install_worker_trace,
+                initargs=(trace, digest),
+            )
+
+        def submit_one(pool: ProcessPoolExecutor, index: int, attempt: int):
+            return pool.submit(
+                _solve_task_in_worker, index, tasks[index], digest, attempt
+            )
+
+        def serial_one(index: int) -> SynthesisResult:
+            return _solve_task(trace, tasks[index])
+
+        return self._pool_map(len(tasks), make_pool, submit_one, serial_one)
 
     # -- batches (one task per trace) ---------------------------------
 
@@ -489,10 +627,7 @@ class ExecutionEngine:
         self, items: Sequence[Tuple[TrafficTrace, SynthesisTask]]
     ) -> List[SynthesisResult]:
         if self.jobs > 1 and len(items) > 1:
-            try:
-                return self._solve_batch_parallel(items)
-            except (BrokenProcessPool, OSError):
-                pass  # pool infrastructure failure: degrade to serial
+            return self._solve_batch_parallel(items)
         results = []
         for trace, task in items:
             warm_analytics(trace)
@@ -503,18 +638,22 @@ class ExecutionEngine:
         self, items: Sequence[Tuple[TrafficTrace, SynthesisTask]]
     ) -> List[SynthesisResult]:
         workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_pool_context()
-        ) as pool:
-            futures = [
-                pool.submit(_solve_batch_item, index, trace, task)
-                for index, (trace, task) in enumerate(items)
-            ]
-            by_index: Dict[int, SynthesisResult] = {}
-            for future in futures:
-                index, result = future.result()
-                by_index[index] = result
-        return [by_index[index] for index in range(len(items))]
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            )
+
+        def submit_one(pool: ProcessPoolExecutor, index: int, attempt: int):
+            trace, task = items[index]
+            return pool.submit(_solve_batch_item, index, trace, task, attempt)
+
+        def serial_one(index: int) -> SynthesisResult:
+            trace, task = items[index]
+            warm_analytics(trace)
+            return _solve_task(trace, task)
+
+        return self._pool_map(len(items), make_pool, submit_one, serial_one)
 
     # -- latency replays ----------------------------------------------
 
@@ -531,26 +670,24 @@ class ExecutionEngine:
         pipeline's replay stage (the engine is handed only the misses).
         """
         if self.jobs > 1 and len(tasks) > 1:
-            try:
-                return self._run_replays_parallel(tasks)
-            except (BrokenProcessPool, OSError):
-                pass  # pool infrastructure failure: degrade to serial
+            return self._run_replays_parallel(tasks)
         return [_run_replay_task(task) for task in tasks]
 
     def _run_replays_parallel(self, tasks: Sequence[ReplayTask]) -> List[ReplayOutcome]:
         workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_pool_context()
-        ) as pool:
-            futures = [
-                pool.submit(_replay_in_worker, index, task)
-                for index, task in enumerate(tasks)
-            ]
-            by_index: Dict[int, ReplayOutcome] = {}
-            for future in futures:
-                index, outcome = future.result()
-                by_index[index] = outcome
-        return [by_index[index] for index in range(len(tasks))]
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            )
+
+        def submit_one(pool: ProcessPoolExecutor, index: int, attempt: int):
+            return pool.submit(_replay_in_worker, index, tasks[index], attempt)
+
+        def serial_one(index: int) -> ReplayOutcome:
+            return _run_replay_task(tasks[index])
+
+        return self._pool_map(len(tasks), make_pool, submit_one, serial_one)
 
     # -- evaluation ---------------------------------------------------
 
@@ -573,10 +710,7 @@ class ExecutionEngine:
             and len(designs) > 1
             and getattr(application, "registry_key", None) is not None
         ):
-            try:
-                return self._evaluate_parallel(application, designs, budget)
-            except (BrokenProcessPool, OSError):
-                pass
+            return self._evaluate_parallel(application, designs, budget)
         return [
             _simulate_outcome(
                 application,
@@ -593,27 +727,38 @@ class ExecutionEngine:
         self, application, designs: Sequence, budget: int
     ) -> List[EvaluationOutcome]:
         workers = min(self.jobs, len(designs))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_pool_context()
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _evaluate_in_worker,
-                    index,
-                    application.registry_key,
-                    tuple(design.it.binding),
-                    tuple(design.ti.binding),
-                    design.label,
-                    design.bus_count,
-                    budget,
-                )
-                for index, design in enumerate(designs)
-            ]
-            by_index: Dict[int, EvaluationOutcome] = {}
-            for future in futures:
-                index, outcome = future.result()
-                by_index[index] = outcome
-        return [by_index[index] for index in range(len(designs))]
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            )
+
+        def submit_one(pool: ProcessPoolExecutor, index: int, attempt: int):
+            design = designs[index]
+            return pool.submit(
+                _evaluate_in_worker,
+                index,
+                application.registry_key,
+                tuple(design.it.binding),
+                tuple(design.ti.binding),
+                design.label,
+                design.bus_count,
+                budget,
+                attempt,
+            )
+
+        def serial_one(index: int) -> EvaluationOutcome:
+            design = designs[index]
+            return _simulate_outcome(
+                application,
+                design.it.as_list(),
+                design.ti.as_list(),
+                design.label,
+                design.bus_count,
+                budget,
+            )
+
+        return self._pool_map(len(designs), make_pool, submit_one, serial_one)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cache = self.cache.cache_dir if self.cache is not None else None

@@ -9,14 +9,21 @@ Classic LP-relaxation branch and bound with:
   matching the paper's MILP1, which has no objective function,
 * pluggable LP engine (built-in simplex or scipy HiGHS).
 
-The solver is exact; node and iteration limits exist only as safety rails
-and are reported through the solution status when hit.
+The solver is exact; node and iteration limits exist only as safety
+rails and are reported through the solution status when hit. A
+wall-clock deadline (``time_limit``) is the graceful-degradation rail:
+when it expires the solver returns the best incumbent found so far
+flagged ``timed_out`` instead of running unboundedly -- and with no
+deadline set, the search path (node order, pruning, branching) is
+bit-for-bit identical to a solver without the feature, a property the
+equivalence gate in ``tests/resilience`` enforces.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -26,6 +33,7 @@ from repro.errors import SolverError
 from repro.milp.model import Model
 from repro.milp.simplex import LPStatus, SimplexResult, solve_lp_simplex
 from repro.milp.solution import Solution, SolveStatus
+from repro.resilience import maybe_slow_solver
 
 __all__ = ["BranchBoundOptions", "solve_milp"]
 
@@ -49,12 +57,21 @@ class BranchBoundOptions:
         MILP1 (Eq. 10), which performs a pure feasibility check.
     absolute_gap:
         Prune nodes whose bound is within this of the incumbent.
+    time_limit:
+        Wall-clock deadline in seconds (``None`` disables, the
+        default). When it expires mid-search the solver returns
+        gracefully: the best incumbent so far as a ``FEASIBLE``
+        solution flagged ``timed_out``, or a bare ``TIME_LIMIT``
+        status when no incumbent exists yet. The deadline is checked
+        per node, so one LP relaxation may overrun it; it bounds
+        tail latency, not individual pivots.
     """
 
     lp_engine: str = "scipy"
     node_limit: int = 200_000
     feasibility_only: bool = False
     absolute_gap: float = 1e-6
+    time_limit: Optional[float] = None
 
     def resolve_engine(self) -> LPEngine:
         """Return the LP relaxation solver callable."""
@@ -78,6 +95,11 @@ def solve_milp(model: Model, options: Optional[BranchBoundOptions] = None) -> So
     """Solve ``model`` to optimality (or first feasible point) by B&B."""
     options = options or BranchBoundOptions()
     engine = options.resolve_engine()
+    deadline = (
+        time.monotonic() + options.time_limit
+        if options.time_limit is not None
+        else None
+    )
     form = model.to_standard_form()
     integer_indices = np.nonzero(form.integer_mask)[0]
 
@@ -107,12 +129,25 @@ def solve_milp(model: Model, options: Optional[BranchBoundOptions] = None) -> So
     while heap:
         node = heapq.heappop(heap)
         nodes_explored += 1
+        # Injection point ``solver.slow`` (keyed by node ordinal):
+        # stretches node latency so deadline tests fire deterministically
+        # without depending on problem size. No-op without a FaultPlan.
+        maybe_slow_solver(str(nodes_explored))
         if nodes_explored > options.node_limit:
             status = (
                 SolveStatus.FEASIBLE if incumbent_x is not None
                 else SolveStatus.NODE_LIMIT
             )
             return _finish(status, incumbent_x, incumbent_obj, form, nodes_explored)
+        if deadline is not None and time.monotonic() >= deadline:
+            status = (
+                SolveStatus.FEASIBLE if incumbent_x is not None
+                else SolveStatus.TIME_LIMIT
+            )
+            return _finish(
+                status, incumbent_x, incumbent_obj, form, nodes_explored,
+                timed_out=True,
+            )
         if node.bound >= incumbent_obj - options.absolute_gap:
             continue
         relaxation = lp_cache.pop(node.order, None) or relax(node.overrides)
@@ -178,13 +213,19 @@ def _most_fractional(
     return best_index, float(x[best_index])
 
 
-def _finish(status, x, objective, form, nodes) -> Solution:
+def _finish(status, x, objective, form, nodes, timed_out: bool = False) -> Solution:
     if x is None:
-        return Solution(status, nodes=nodes)
+        return Solution(status, nodes=nodes, timed_out=timed_out)
     values = {}
     for var, value in zip(form.variables, x):
         if var.is_integral:
             values[var] = float(round(value))
         else:
             values[var] = float(value)
-    return Solution(status, objective=float(objective), values=values, nodes=nodes)
+    return Solution(
+        status,
+        objective=float(objective),
+        values=values,
+        nodes=nodes,
+        timed_out=timed_out,
+    )

@@ -15,10 +15,11 @@ class SolveStatus(enum.Enum):
     """Outcome of a MILP solve."""
 
     OPTIMAL = "optimal"
-    FEASIBLE = "feasible"  # stopped early with an incumbent (node limit)
+    FEASIBLE = "feasible"  # stopped early with an incumbent (node/time limit)
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     NODE_LIMIT = "node-limit"  # stopped early without an incumbent
+    TIME_LIMIT = "time-limit"  # deadline expired without an incumbent
 
 
 @dataclass
@@ -36,12 +37,18 @@ class Solution:
         Mapping from variable to its value (integers are exact).
     nodes:
         Number of branch-and-bound nodes explored.
+    timed_out:
+        Whether a wall-clock deadline (``BranchBoundOptions.time_limit``)
+        expired before the search completed. A timed-out solution may
+        still be ``FEASIBLE`` -- the best incumbent found so far -- but
+        carries no optimality guarantee.
     """
 
     status: SolveStatus
     objective: Optional[float] = None
     values: Dict[Variable, float] = field(default_factory=dict)
     nodes: int = 0
+    timed_out: bool = False
 
     @property
     def is_feasible(self) -> bool:

@@ -15,6 +15,12 @@ Each path is tallied per stage in the store's
 :class:`~repro.pipeline.store.StageCounters`, which is what incremental
 re-synthesis tests assert on and ``--explain-cache`` prints.
 
+Persistence is best-effort by contract: the disk layers underneath
+(:meth:`ResultCache.put_json`, :meth:`ArtifactStore.put_arrays`) retry
+and then swallow storage faults, so a full disk or injected
+``io.transient`` fault costs future warm starts -- the stage recomputes
+next time -- never the run in flight or the correctness of its report.
+
 Every solve entry point in the repository drives this runner:
 :class:`~repro.core.synthesis.CrossbarSynthesizer` composes
 ``collect -> window -> conflicts -> bind`` per crossbar side, the

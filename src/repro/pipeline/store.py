@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import zipfile
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
@@ -277,8 +278,11 @@ class ArtifactStore:
                 arrays = {name: data[name] for name in data.files}
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, KeyError, EOFError):
-            return None  # corrupt sidecar: recompute and overwrite
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            # Corrupt sidecar: recompute and overwrite. BadZipFile is
+            # what a truncated ``.npz`` (a torn write, a full disk)
+            # actually raises -- it is not an OSError.
+            return None
         try:
             os.utime(path)  # keep LRU pruning honest on sidecar hits
         except OSError:  # pragma: no cover - best-effort bookkeeping
@@ -289,18 +293,31 @@ class ArtifactStore:
         self, fingerprint: str, arrays: Mapping[str, np.ndarray]
     ) -> None:
         """Persist tensors as a compressed ``.npz`` sidecar atomically
-        (no-op without a disk layer)."""
+        (no-op without a disk layer).
+
+        Like :meth:`ResultCache.put_json`, the write is best-effort: a
+        failing disk loses the sidecar (the stage recomputes next time),
+        never the in-memory artifact or the run that produced it.
+        """
         if self.disk is None:
             return
         path = self._sidecar_path(fingerprint)
-        self.disk.cache_dir.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.disk.cache_dir, prefix=".tmp-", suffix=".npz"
-        )
+        try:
+            self.disk.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.disk.cache_dir, prefix=".tmp-", suffix=".npz"
+            )
+        except OSError:
+            return
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez_compressed(handle, **arrays)
             os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
         except BaseException:
             try:
                 os.unlink(tmp_name)

@@ -1,0 +1,106 @@
+"""Retry policy and degradation accounting for the execution engine.
+
+:class:`RetryPolicy` bounds how hard :class:`~repro.exec.engine.
+ExecutionEngine` fights before giving ground: a per-task retry budget,
+a capped exponential backoff between recovery attempts, and at most
+``pool_rebuilds`` fresh pools per batch. Only when every rung of that
+ladder is exhausted does a batch degrade to serial execution -- and
+:class:`EngineStats` counts every rung taken, so "we degraded" is an
+observable fact (surfaced through ``/v1/stats``) instead of a silent
+``except: pass``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RetryPolicy", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on fault recovery in the execution engine.
+
+    Attributes
+    ----------
+    task_retries:
+        How many times a single task may be retried (in a healthy or
+        rebuilt pool) after a worker failure before it falls back to
+        an in-process serial solve.
+    pool_rebuilds:
+        How many times a broken process pool may be torn down and
+        rebuilt per batch. Past this budget the remaining tasks run
+        serially.
+    backoff_s / backoff_cap_s:
+        Sleep before recovery attempt *n* is ``backoff_s * 2**n``
+        capped at ``backoff_cap_s`` -- enough to let a transient
+        resource squeeze pass, small enough not to dominate latency.
+    """
+
+    task_retries: int = 1
+    pool_rebuilds: int = 1
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.task_retries < 0:
+            raise ConfigurationError("task_retries must be >= 0")
+        if self.pool_rebuilds < 0:
+            raise ConfigurationError("pool_rebuilds must be >= 0")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError("backoff values must be >= 0")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before recovery attempt ``attempt`` (0-based)."""
+        return min(self.backoff_s * (2**attempt), self.backoff_cap_s)
+
+
+class EngineStats:
+    """Thread-safe tally of the engine's degradation events.
+
+    One instance is shared across every engine scoped from the same
+    parent (``ExecutionEngine.scoped``), so the serve daemon's
+    ``/v1/stats`` aggregates recovery activity across all jobs.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.task_retries = 0
+        self.pool_rebuilds = 0
+        self.serial_fallbacks = 0
+        self.serial_tasks = 0
+
+    def record_task_retry(self, count: int = 1) -> None:
+        with self._lock:
+            self.task_retries += count
+
+    def record_pool_rebuild(self) -> None:
+        with self._lock:
+            self.pool_rebuilds += 1
+
+    def record_serial_fallback(self, tasks: int) -> None:
+        """A batch (or its remainder) gave up on the pool entirely."""
+        with self._lock:
+            self.serial_fallbacks += 1
+            self.serial_tasks += tasks
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any recovery beyond plain retries was ever needed."""
+        with self._lock:
+            return self.serial_fallbacks > 0 or self.pool_rebuilds > 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "task_retries": self.task_retries,
+                "pool_rebuilds": self.pool_rebuilds,
+                "serial_fallbacks": self.serial_fallbacks,
+                "serial_tasks": self.serial_tasks,
+                "degraded": self.serial_fallbacks > 0
+                or self.pool_rebuilds > 0,
+            }

@@ -17,6 +17,13 @@ actually shares a solver farm through:
   surface (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``/v1/stats``,
   ``/v1/health``).
 
+The daemon is hardened for long-lived operation: per-job wall-clock
+timeouts, cancellation of queued jobs (``DELETE /v1/jobs/<id>``), TTL
+eviction of finished jobs from both registries, queue-depth load
+shedding (503 + ``Retry-After``), and a health endpoint that reports
+*degraded* -- with reasons -- whenever the engine fell back from its
+process pool, jobs timed out, or requests were shed.
+
 No third-party dependencies: the daemon is ``python -m``-grade stdlib
 HTTP on top of the existing engine, exactly like the rest of the repo.
 """
@@ -30,7 +37,7 @@ from repro.server.schemas import (
     SuiteRequest,
     parse_job_request,
 )
-from repro.server.service import SynthesisService
+from repro.server.service import ServiceOverloaded, SynthesisService
 from repro.server.app import SynthesisServer, serve
 
 __all__ = [
@@ -42,6 +49,7 @@ __all__ = [
     "SuiteRequest",
     "RequestError",
     "parse_job_request",
+    "ServiceOverloaded",
     "SynthesisService",
     "SynthesisServer",
     "serve",

@@ -9,31 +9,37 @@ cover the translation.
 
 Endpoints (all JSON; see docs/http-api.md for schemas and examples)::
 
-    POST /v1/jobs           submit a job          -> 202 {job, disposition}
-    GET  /v1/jobs           list known jobs       -> 200 {jobs: [...]}
-    GET  /v1/jobs/<id>      job status + result   -> 200 {state, ...}
-    GET  /v1/stats          daemon observability  -> 200 {...}
-    GET  /v1/health         liveness probe        -> 200 {status: "ok"}
+    POST   /v1/jobs         submit a job          -> 202 {job, disposition}
+    GET    /v1/jobs         list known jobs       -> 200 {jobs: [...]}
+    GET    /v1/jobs/<id>    job status + result   -> 200 {state, ...}
+    DELETE /v1/jobs/<id>    cancel a queued job   -> 200 {state: cancelled}
+    GET    /v1/stats        daemon observability  -> 200 {...}
+    GET    /v1/health       liveness + degradation-> 200 {status, ...}
 
 ``GET /v1/jobs/<id>?wait=<seconds>`` long-polls: the response is sent
 as soon as the job turns terminal, or with its current state once the
-timeout (capped at 60 s) elapses.
+timeout elapses. The parameter must be a non-negative finite number;
+values above 60 s are clamped to 60 (the response says so), negative
+or non-numeric values are a 400.
 
 Errors are JSON bodies too -- ``{"error": {"message": ..., ...}}`` --
 with 400 for malformed requests, 404 for unknown paths/jobs, 405 for
-bad methods, 503 once shutdown began.
+bad methods, 409 for cancelling a job that already started or
+finished, 503 with a ``Retry-After`` header when the queue sheds load,
+and 503 once shutdown began.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.server.schemas import RequestError
-from repro.server.service import SynthesisService
+from repro.server.service import ServiceOverloaded, SynthesisService
 
 __all__ = ["SynthesisServer", "serve"]
 
@@ -107,6 +113,19 @@ class _Handler(BaseHTTPRequestHandler):
         except RequestError as error:
             self._send_error_json(400, str(error), **error.details)
             return
+        except ServiceOverloaded as error:
+            # Load shedding, not failure: tell the client when to retry.
+            body = json.dumps(
+                {"error": {"message": str(error), "queued": error.depth}},
+                sort_keys=True,
+            ).encode("utf-8")
+            self.send_response(503)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Retry-After", f"{error.retry_after:g}")
+            self.end_headers()
+            self.wfile.write(body)
+            return
         except RuntimeError:
             # The queue closed between the drain check and the submit.
             self._send_error_json(503, "server is shutting down")
@@ -124,7 +143,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
         path, query = self._route()
         if path == "/v1/health":
-            self._send_json(200, {"status": "ok"})
+            self._send_json(200, self.server.service.health())
             return
         if path == "/v1/stats":
             self._send_json(200, self.server.service.stats())
@@ -145,21 +164,47 @@ class _Handler(BaseHTTPRequestHandler):
             wait = query.get("wait")
             if wait is not None:
                 try:
-                    seconds = min(float(wait), _MAX_WAIT_SECONDS)
+                    seconds = float(wait)
                 except ValueError:
+                    seconds = math.nan
+                # Reject, don't silently repair: a negative or NaN/inf
+                # wait is a caller bug, and Event.wait must never see it.
+                if not math.isfinite(seconds) or seconds < 0:
                     self._send_error_json(
-                        400, "query parameter 'wait' must be a number"
+                        400,
+                        "query parameter 'wait' must be a non-negative "
+                        f"number of seconds (max {_MAX_WAIT_SECONDS:g})",
                     )
                     return
-                job.wait(max(seconds, 0.0))
+                job.wait(min(seconds, _MAX_WAIT_SECONDS))
             self._send_json(200, job.status())
             return
         self._send_error_json(404, f"no such resource: {path}")
 
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib handler naming
+        path, _query = self._route()
+        if not path.startswith("/v1/jobs/"):
+            self._send_error_json(405, "method not allowed")
+            return
+        job_id = path[len("/v1/jobs/"):]
+        cancelled = self.server.service.cancel(job_id)
+        if cancelled is None:
+            self._send_error_json(404, f"no such job: {job_id}")
+            return
+        if not cancelled:
+            job = self.server.service.queue.get(job_id)
+            state = job.status(include_result=False)["state"] if job else "?"
+            self._send_error_json(
+                409,
+                f"job {job_id} is {state}; only queued jobs are cancellable",
+            )
+            return
+        job = self.server.service.queue.get(job_id)
+        self._send_json(200, job.status(include_result=False))
+
     def do_PUT(self) -> None:  # noqa: N802 - stdlib handler naming
         self._send_error_json(405, "method not allowed")
 
-    do_DELETE = do_PUT
     do_PATCH = do_PUT
 
 
@@ -182,10 +227,18 @@ class SynthesisServer(ThreadingHTTPServer):
         cache_dir: Optional[str] = None,
         workers: int = 2,
         verbose: bool = False,
+        job_timeout: Optional[float] = None,
+        finished_ttl: Optional[float] = None,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.service = SynthesisService(
-            engine_jobs=engine_jobs, cache_dir=cache_dir, workers=workers
+            engine_jobs=engine_jobs,
+            cache_dir=cache_dir,
+            workers=workers,
+            job_timeout=job_timeout,
+            finished_ttl=finished_ttl,
+            max_queue_depth=max_queue_depth,
         )
         self.verbose = verbose
         self.draining = threading.Event()
@@ -224,6 +277,9 @@ def serve(
     cache_dir: Optional[str] = None,
     workers: int = 2,
     verbose: bool = False,
+    job_timeout: Optional[float] = None,
+    finished_ttl: Optional[float] = None,
+    max_queue_depth: Optional[int] = None,
 ) -> SynthesisServer:
     """Build and start a daemon; the caller owns ``stop()``."""
     server = SynthesisServer(
@@ -233,6 +289,9 @@ def serve(
         cache_dir=cache_dir,
         workers=workers,
         verbose=verbose,
+        job_timeout=job_timeout,
+        finished_ttl=finished_ttl,
+        max_queue_depth=max_queue_depth,
     )
     server.start()
     return server

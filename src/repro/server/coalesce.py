@@ -10,8 +10,14 @@ registry that turns identical addresses into shared work:
 * a fingerprint that already **finished** is served from the registry
   (disposition ``"finished"``) without re-queueing -- the artifact and
   whole-result stores below make that hit cheap across restarts too;
-* a **failed** job is evicted on admission, so resubmitting after a
-  failure retries instead of replaying the stored error forever.
+* a **failed** (or cancelled) job is evicted on admission, so
+  resubmitting after a failure retries instead of replaying the stored
+  error forever;
+* **finished** entries expire after a TTL (when one is configured), so
+  a long-lived daemon's registry does not grow one entry -- result
+  payload included -- per distinct fingerprint forever. An expired
+  fingerprint falls back to the whole-result cache, which still
+  answers warmly.
 
 All transitions happen under one lock; the check-then-register race two
 concurrent submitters would otherwise hit (both miss, both enqueue) is
@@ -21,6 +27,7 @@ exactly what this type exists to close.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.server.jobs import Job
@@ -29,15 +36,44 @@ __all__ = ["RequestCoalescer"]
 
 
 class RequestCoalescer:
-    """Fingerprint -> job registry with single-flight admission."""
+    """Fingerprint -> job registry with single-flight admission.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    finished_ttl:
+        Seconds a finished (done) entry stays answerable from the
+        registry; ``None`` (the default) keeps entries forever. Live
+        (queued/running) entries never expire -- expiring one would
+        break single-flight admission mid-solve.
+    """
+
+    def __init__(self, finished_ttl: Optional[float] = None) -> None:
+        if finished_ttl is not None and finished_ttl <= 0:
+            raise ValueError("finished_ttl must be > 0 or None")
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
+        self.finished_ttl = finished_ttl
         self.submitted = 0
         self.executed = 0
         self.coalesced = 0
         self.finished_hits = 0
+        self.ttl_evictions = 0
+
+    def _expire_locked(self) -> None:
+        """Evict finished entries past their TTL (caller holds the lock)."""
+        if self.finished_ttl is None:
+            return
+        cutoff = time.time() - self.finished_ttl
+        expired = [
+            fingerprint
+            for fingerprint, job in self._jobs.items()
+            if job.is_terminal
+            and job.finished_at is not None
+            and job.finished_at <= cutoff
+        ]
+        for fingerprint in expired:
+            del self._jobs[fingerprint]
+        self.ttl_evictions += len(expired)
 
     def admit(
         self, fingerprint: str, create: Callable[[], Job]
@@ -57,10 +93,17 @@ class RequestCoalescer:
             The fingerprint already completed successfully; the done
             job (result attached) is returned without re-queueing.
 
-        Failed registry entries are evicted here so the new request
-        retries from scratch.
+        Failed/cancelled registry entries are evicted here so the new
+        request retries from scratch, and expired finished entries are
+        dropped first (see ``finished_ttl``).
+
+        ``create()`` runs under the lock (exactly once per fingerprint)
+        and may raise -- e.g. the service shedding load on a full queue
+        -- in which case *nothing* is registered and the error
+        propagates to the caller.
         """
         with self._lock:
+            self._expire_locked()
             self.submitted += 1
             existing = self._jobs.get(fingerprint)
             if existing is not None:
@@ -71,7 +114,7 @@ class RequestCoalescer:
                 if existing.state == "done":
                     self.finished_hits += 1
                     return existing, "finished"
-                # failed: fall through and retry with a fresh job
+                # failed/cancelled: fall through, retry with a fresh job
                 del self._jobs[fingerprint]
             job = create()
             self._jobs[fingerprint] = job
@@ -81,7 +124,17 @@ class RequestCoalescer:
     def lookup(self, fingerprint: str) -> Optional[Job]:
         """The registry's job for ``fingerprint``, if any."""
         with self._lock:
+            self._expire_locked()
             return self._jobs.get(fingerprint)
+
+    def forget(self, fingerprint: str) -> None:
+        """Drop the registry entry for ``fingerprint``, if any (used
+        when the job registry evicts a job by TTL, so the coalescer
+        never answers with a job the registry no longer knows). Counts
+        toward ``ttl_evictions``: its only caller is TTL-driven."""
+        with self._lock:
+            if self._jobs.pop(fingerprint, None) is not None:
+                self.ttl_evictions += 1
 
     def stats(self) -> Dict[str, int]:
         """Counters for the ``/v1/stats`` endpoint (one consistent read)."""
@@ -91,4 +144,6 @@ class RequestCoalescer:
                 "executed": self.executed,
                 "coalesced": self.coalesced,
                 "finished_hits": self.finished_hits,
+                "ttl_evictions": self.ttl_evictions,
+                "registry_size": len(self._jobs),
             }

@@ -1,19 +1,27 @@
 """Asynchronous job model and worker queue of the synthesis daemon.
 
 A :class:`Job` is one admitted unit of work: it carries the parsed
-request, its content fingerprint, a queued/running/done/failed state
-machine, live per-stage progress (fed by the pipeline's
+request, its content fingerprint, a
+queued/running/done/failed/cancelled state machine, live per-stage
+progress (fed by the pipeline's
 :class:`~repro.pipeline.store.StageCounters` observers) and -- once
 terminal -- either the JSON result or the error message. Jobs are
 plain shared-state objects: HTTP handler threads read them while a
 worker thread mutates them, so every mutation happens under the job's
-lock and :meth:`Job.status` returns a consistent copy.
+lock, :meth:`Job.status` returns a consistent copy, and the terminal
+transitions are one-way -- a late writer (a worker racing a
+cancellation, a timed-out job finally finishing) finds the state
+already terminal and its mark becomes a no-op instead of a resurrection.
 
 The :class:`JobQueue` runs jobs on a small pool of daemon worker
 threads fed from a FIFO. Shutdown is graceful by default: the queue
 stops accepting work, sends one sentinel per worker, and joins them --
 every job admitted before shutdown still runs to a terminal state, so
-clients polling an in-flight job never see it vanish.
+clients polling an in-flight job never see it vanish. An optional
+per-job wall-clock timeout bounds each execution: an overrunning job is
+marked failed and *abandoned* (its runner thread is left to finish into
+the no-op guard) so one pathological request cannot pin a worker slot
+forever from the clients' point of view.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ from repro.server.schemas import JobRequest
 
 __all__ = ["Job", "JobQueue"]
 
-_STATES = ("queued", "running", "done", "failed")
+_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 
 class Job:
@@ -52,25 +60,62 @@ class Job:
         self._terminal = threading.Event()
 
     # -- worker-side transitions --------------------------------------
+    #
+    # Every transition returns whether it took effect: terminal states
+    # (done/failed/cancelled) are absorbing, so a worker that lost a
+    # race -- against a cancellation, or against its own timeout -- gets
+    # ``False`` back and the job's terminal answer stays what the first
+    # writer made it.
 
-    def mark_running(self) -> None:
+    def mark_running(self) -> bool:
         with self._lock:
+            if self.state != "queued":
+                return False
             self.state = "running"
             self.started_at = time.time()
+            return True
 
-    def mark_done(self, result: Dict[str, Any]) -> None:
+    def mark_done(self, result: Dict[str, Any]) -> bool:
         with self._lock:
+            if self.state in ("done", "failed", "cancelled"):
+                return False
             self.state = "done"
             self.result = result
             self.finished_at = time.time()
         self._terminal.set()
+        return True
 
-    def mark_failed(self, error: str) -> None:
+    def mark_failed(self, error: str) -> bool:
         with self._lock:
+            if self.state in ("done", "failed", "cancelled"):
+                return False
             self.state = "failed"
             self.error = error
             self.finished_at = time.time()
         self._terminal.set()
+        return True
+
+    def cancel(self) -> bool:
+        """Cancel the job if it has not started; ``True`` on success.
+
+        Only queued jobs are cancellable: a running solve holds real
+        resources the thread model cannot safely reclaim mid-flight,
+        and a terminal job already has its answer. A cancelled job is
+        terminal (pollers wake immediately) and the worker that later
+        dequeues it skips execution via the :meth:`mark_running` guard.
+        """
+        with self._lock:
+            if self.state != "queued":
+                return False
+            self.state = "cancelled"
+            self.error = "cancelled before execution"
+            self.finished_at = time.time()
+        self._terminal.set()
+        return True
+
+    @property
+    def is_terminal(self) -> bool:
+        return self._terminal.is_set()
 
     def record_progress(self, kind: str, stage: str) -> None:
         """Tally one stage event (wired to ``StageCounters.subscribe``)."""
@@ -103,7 +148,7 @@ class Job:
                     stage: dict(row) for stage, row in self.progress.items()
                 },
             }
-            if self.state == "failed":
+            if self.state in ("failed", "cancelled"):
                 payload["error"] = self.error
             if include_result and self.state == "done":
                 payload["result"] = self.result
@@ -123,13 +168,24 @@ class JobQueue:
         Concurrent solver slots. Each running job may additionally use
         the execution engine's process pool internally, so this stays
         small by default.
+    job_timeout:
+        Optional wall-clock bound in seconds on one job's execution.
+        An overrunning job is marked failed (clients polling it get a
+        terminal answer) and abandoned: its runner thread keeps going
+        as a daemon and its eventual completion is absorbed by the
+        terminal-state guard. ``None`` (the default) disables the bound.
     """
 
     def __init__(
-        self, execute: Callable[[Job], Dict[str, Any]], workers: int = 2
+        self,
+        execute: Callable[[Job], Dict[str, Any]],
+        workers: int = 2,
+        job_timeout: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be > 0 or None")
         self._execute = execute
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._ids = itertools.count(1)
@@ -138,6 +194,8 @@ class JobQueue:
         self._order: List[str] = []
         self._accepting = True
         self._active = 0
+        self.job_timeout = job_timeout
+        self._timeouts = 0
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"repro-job-{i}", daemon=True
@@ -180,21 +238,82 @@ class JobQueue:
         with self._lock:
             return self._active
 
+    def timeouts(self) -> int:
+        """Jobs failed by the per-job wall-clock timeout so far."""
+        with self._lock:
+            return self._timeouts
+
+    def evict_terminal(self, ttl: float) -> List[Job]:
+        """Forget terminal jobs older than ``ttl`` seconds.
+
+        The registry otherwise grows one :class:`Job` (request, result
+        payload and all) per distinct fingerprint for the daemon's
+        lifetime. Eviction drops jobs whose terminal timestamp is more
+        than ``ttl`` seconds old; a polling client that comes back
+        later gets a 404 and simply resubmits (the whole-result cache
+        still answers warmly). Returns the evicted jobs, so the caller
+        can expire their fingerprints from the coalescing registry too.
+        """
+        if ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
+        cutoff = time.time() - ttl
+        with self._lock:
+            evicted = [
+                job
+                for job_id in self._order
+                if (job := self._jobs[job_id]).is_terminal
+                and job.finished_at is not None
+                and job.finished_at <= cutoff
+            ]
+            if not evicted:
+                return []
+            gone = {job.id for job in evicted}
+            for job_id in gone:
+                del self._jobs[job_id]
+            self._order = [j for j in self._order if j not in gone]
+            return evicted
+
+    def _run_job(self, job: Job) -> None:
+        """Execute one job to a terminal mark (both timeout modes)."""
+        try:
+            result = self._execute(job)
+        except Exception as error:  # job isolation: one bad job
+            job.mark_failed(f"{type(error).__name__}: {error}")
+        else:
+            job.mark_done(result)
+
     def _worker(self) -> None:
         while True:
             job = self._queue.get()
             if job is None:  # shutdown sentinel
                 self._queue.task_done()
                 return
+            if not job.mark_running():  # cancelled while queued
+                self._queue.task_done()
+                continue
             with self._lock:
                 self._active += 1
-            job.mark_running()
             try:
-                result = self._execute(job)
-            except Exception as error:  # job isolation: one bad job
-                job.mark_failed(f"{type(error).__name__}: {error}")
-            else:
-                job.mark_done(result)
+                if self.job_timeout is None:
+                    self._run_job(job)
+                else:
+                    runner = threading.Thread(
+                        target=self._run_job,
+                        args=(job,),
+                        name=f"{threading.current_thread().name}-run",
+                        daemon=True,
+                    )
+                    runner.start()
+                    runner.join(self.job_timeout)
+                    if runner.is_alive():
+                        # Abandon the runner: it finishes into the
+                        # terminal-state guard; the client's answer is
+                        # this failure.
+                        if job.mark_failed(
+                            f"timed out after {self.job_timeout:g}s"
+                        ):
+                            with self._lock:
+                                self._timeouts += 1
             finally:
                 with self._lock:
                     self._active -= 1

@@ -32,7 +32,7 @@ per-stage computed/memo-hit/disk-hit tallies while the job runs.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core import CrossbarSynthesizer, SynthesisConfig
 from repro.core.instrumentation import SOLVE_COUNTER
@@ -45,6 +45,7 @@ from repro.exec.serialize import (
     result_to_dict,
 )
 from repro.pipeline import ArtifactStore, PipelineRunner
+from repro.resilience import fault_summary
 from repro.server.coalesce import RequestCoalescer
 from repro.server.jobs import Job, JobQueue
 from repro.server.schemas import (
@@ -53,9 +54,27 @@ from repro.server.schemas import (
     parse_job_request,
 )
 
-__all__ = ["SynthesisService", "DESIGN_REPORT_FORMAT"]
+__all__ = ["SynthesisService", "ServiceOverloaded", "DESIGN_REPORT_FORMAT"]
 
 DESIGN_REPORT_FORMAT = "repro-server-design-v1"
+
+
+class ServiceOverloaded(RuntimeError):
+    """The job queue is at capacity; the request was shed, not queued.
+
+    Raised from admission (inside the coalescer's ``create`` callback,
+    so nothing is registered for the shed fingerprint) when
+    ``max_queue_depth`` is configured and reached. The app layer maps
+    it to ``503`` with a ``Retry-After`` header -- load shedding is an
+    invitation to come back, not a failure of the request itself.
+    """
+
+    def __init__(self, depth: int, retry_after: float = 1.0) -> None:
+        super().__init__(
+            f"job queue at capacity ({depth} queued); retry shortly"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
 
 
 class SynthesisService:
@@ -71,6 +90,19 @@ class SynthesisService:
         disk layer (in-flight coalescing still works).
     workers:
         Concurrent job slots in the queue.
+    job_timeout:
+        Per-job wall-clock bound in seconds (see
+        :class:`~repro.server.jobs.JobQueue`); ``None`` disables it.
+    finished_ttl:
+        Seconds finished jobs stay answerable from the registries
+        (job index and coalescer alike) before eviction; ``None``
+        keeps them forever.
+    max_queue_depth:
+        Admission bound: a *new* request arriving while this many jobs
+        are already queued is shed with :class:`ServiceOverloaded`
+        (503 at the HTTP layer). Coalesced/finished/cached requests
+        are never shed -- they cost no queue slot. ``None`` disables
+        shedding.
     """
 
     def __init__(
@@ -78,12 +110,22 @@ class SynthesisService:
         engine_jobs: int = 1,
         cache_dir: Optional[str] = None,
         workers: int = 2,
+        job_timeout: Optional[float] = None,
+        finished_ttl: Optional[float] = None,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 or None")
         self.engine = ExecutionEngine(jobs=engine_jobs, cache=cache_dir)
-        self.coalescer = RequestCoalescer()
-        self.queue = JobQueue(self._execute, workers=workers)
+        self.coalescer = RequestCoalescer(finished_ttl=finished_ttl)
+        self.queue = JobQueue(
+            self._execute, workers=workers, job_timeout=job_timeout
+        )
+        self.finished_ttl = finished_ttl
+        self.max_queue_depth = max_queue_depth
         self._stats_lock = threading.Lock()
         self._cached_hits = 0
+        self._shed = 0
         self._solves = 0
         # Solver-level observability: every MILP/assignment solve in
         # this process tallies here (job threads and the serial path
@@ -115,13 +157,19 @@ class SynthesisService:
         cache, so the job completed synchronously without queueing.
 
         Raises :class:`~repro.server.schemas.RequestError` on malformed
-        payloads -- nothing invalid is ever admitted.
+        payloads -- nothing invalid is ever admitted -- and
+        :class:`ServiceOverloaded` when a genuinely new request finds
+        the queue at its configured depth bound (shedding happens
+        inside the coalescer's ``create`` callback, so a shed request
+        leaves no registry entry behind and coalesced/finished/cached
+        answers are never shed).
         """
         request = parse_job_request(payload)
         fingerprint = request.fingerprint()
+        self._evict_expired()
         job, disposition = self.coalescer.admit(
             fingerprint,
-            lambda: self.queue.new_job(request, fingerprint),
+            lambda: self._admit_new(request, fingerprint),
         )
         if disposition != "new":
             return job, disposition
@@ -133,6 +181,32 @@ class SynthesisService:
             return job, "cached"
         self.queue.submit(job)
         return job, "new"
+
+    def _admit_new(self, request, fingerprint: str) -> Job:
+        """The coalescer's ``create`` callback: shed or index a job."""
+        if self.max_queue_depth is not None:
+            depth = self.queue.depth()
+            if depth >= self.max_queue_depth:
+                with self._stats_lock:
+                    self._shed += 1
+                raise ServiceOverloaded(depth)
+        return self.queue.new_job(request, fingerprint)
+
+    def _evict_expired(self) -> None:
+        """Opportunistic TTL maintenance (no background thread needed:
+        any submit or stats read sweeps both registries)."""
+        if self.finished_ttl is None:
+            return
+        for job in self.queue.evict_terminal(self.finished_ttl):
+            self.coalescer.forget(job.fingerprint)
+
+    def cancel(self, job_id: str) -> Optional[bool]:
+        """Cancel a queued job: ``True`` if cancelled, ``False`` if the
+        job exists but is running or terminal, ``None`` if unknown."""
+        job = self.queue.get(job_id)
+        if job is None:
+            return None
+        return job.cancel()
 
     def _warm_lookup(self, request) -> Optional[Dict[str, Any]]:
         """A completed result from the persistent caches, or ``None``.
@@ -263,8 +337,47 @@ class SynthesisService:
 
     # -- observability ------------------------------------------------
 
+    def degraded_reasons(self) -> list:
+        """Why the service considers itself degraded (empty = healthy).
+
+        Degraded is sticky by design: the counters accumulate for the
+        daemon's lifetime, so a health probe after a burst of pool
+        failures still reports that something went wrong -- operators
+        reset by restarting, not by waiting out a rolling window.
+        """
+        reasons = []
+        engine = self.engine.stats.snapshot()
+        if engine["serial_fallbacks"]:
+            reasons.append(
+                f"engine degraded to serial execution "
+                f"{engine['serial_fallbacks']} time(s)"
+            )
+        if engine["pool_rebuilds"]:
+            reasons.append(
+                f"engine rebuilt a broken worker pool "
+                f"{engine['pool_rebuilds']} time(s)"
+            )
+        timeouts = self.queue.timeouts()
+        if timeouts:
+            reasons.append(f"{timeouts} job(s) hit the per-job timeout")
+        with self._stats_lock:
+            shed = self._shed
+        if shed:
+            reasons.append(f"{shed} request(s) shed at the queue bound")
+        return reasons
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/v1/health`` payload: liveness plus degradation."""
+        reasons = self.degraded_reasons()
+        return {
+            "status": "degraded" if reasons else "ok",
+            "degraded": bool(reasons),
+            "reasons": reasons,
+        }
+
     def stats(self) -> Dict[str, Any]:
         """The ``/v1/stats`` payload (see docs/http-api.md)."""
+        self._evict_expired()
         jobs = self.queue.jobs()
         states: Dict[str, int] = {}
         for job in jobs:
@@ -274,8 +387,15 @@ class SynthesisService:
                 "depth": self.queue.depth(),
                 "active": self.queue.active(),
                 "jobs": states,
+                "timeouts": self.queue.timeouts(),
+                "job_timeout": self.queue.job_timeout,
             },
             "coalescing": self.coalescer.stats(),
+            "shedding": {
+                "max_queue_depth": self.max_queue_depth,
+            },
+            "engine": self.engine.stats.snapshot(),
+            "faults": fault_summary(),
             "solves": {
                 "in_process": self._solves,
                 "feasibility": SOLVE_COUNTER.feasibility,
@@ -284,6 +404,7 @@ class SynthesisService:
         }
         with self._stats_lock:
             payload["coalescing"]["cached_hits"] = self._cached_hits
+            payload["shedding"]["shed"] = self._shed
         cache = self.engine.cache
         if cache is not None:
             usage = cache.usage()
@@ -294,6 +415,7 @@ class SynthesisService:
                 "hits": cache.stats.hits,
                 "misses": cache.stats.misses,
                 "stores": cache.stats.stores,
+                "write_errors": cache.stats.write_errors,
             }
         else:
             payload["cache"] = None

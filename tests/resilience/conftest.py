@@ -1,0 +1,19 @@
+"""Shared hygiene for the chaos suite: no fault plan leaks anywhere.
+
+Fault plans are process-global (module state plus the ``REPRO_FAULTS``
+environment variable), so every test starts and ends with injection
+fully cleared -- a leaked plan would poison unrelated tests in the
+same run, including the deterministic-equivalence baselines this very
+suite asserts against.
+"""
+
+import pytest
+
+from repro.resilience import clear_plan
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    clear_plan()
+    yield
+    clear_plan()

@@ -1,0 +1,193 @@
+"""Chaos tests: the engine's recovery ladder under injected failures.
+
+The acceptance property of the whole resilience PR lives here: with
+workers being killed mid-sweep (a *real* ``os._exit`` producing a real
+``BrokenProcessPool``), the engine retries, rebuilds and -- only past
+its budgets -- degrades per task to serial execution, and the results
+are **byte-identical** to a fault-free run. Every rung taken is
+visible in :class:`~repro.resilience.EngineStats`, never silent.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.synthetic import synthetic_trace
+from repro.core import SynthesisConfig
+from repro.exec import ExecutionEngine, SynthesisTask, result_to_dict
+import repro.exec.engine as engine_module
+from repro.resilience import FaultPlan, FaultRule, RetryPolicy, install_plan
+
+WINDOWS = [150, 2_400]
+CONFIG = SynthesisConfig(max_targets_per_bus=None)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return synthetic_trace(
+        burst_cycles=300, total_cycles=12_000, num_initiators=5,
+        num_targets=5, seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return [SynthesisTask(config=CONFIG, window_size=w) for w in WINDOWS]
+
+
+def sweep_bytes(results):
+    return json.dumps(
+        [result_to_dict(r) for r in results], sort_keys=True
+    ).encode()
+
+
+@pytest.fixture(scope="module")
+def baseline(small_trace, tasks):
+    """Fault-free serial reference (serial == parallel is proved in
+    tests/exec; chaos runs must land on these exact bytes)."""
+    from repro.resilience import clear_plan
+
+    clear_plan()
+    return sweep_bytes(ExecutionEngine(jobs=1).run_sweep(small_trace, tasks))
+
+
+class TestWorkerCrashRecovery:
+    def test_crash_on_first_attempt_recovers_via_retry(
+        self, small_trace, tasks, baseline
+    ):
+        """Every task's first attempt dies -> one pool rebuild, every
+        task retried once, results byte-identical, no serial fallback."""
+        install_plan(
+            FaultPlan(
+                seed=1,
+                rules={"worker.crash": FaultRule(rate=1.0, match=("*:a0",))},
+            )
+        )
+        engine = ExecutionEngine(jobs=2)
+        results = engine.run_sweep(small_trace, tasks)
+        assert sweep_bytes(results) == baseline
+        stats = engine.stats.snapshot()
+        assert stats["task_retries"] == len(tasks)
+        assert stats["pool_rebuilds"] == 1
+        assert stats["serial_fallbacks"] == 0
+        assert stats["degraded"] is True
+
+    def test_persistent_crashes_degrade_to_serial_per_task(
+        self, small_trace, tasks, baseline
+    ):
+        """Workers die on *every* attempt -> the retry and rebuild
+        budgets are spent, the remainder runs serially in-process, and
+        the report is still byte-identical."""
+        install_plan(
+            FaultPlan(
+                seed=1,
+                rules={"worker.crash": FaultRule(rate=1.0, match=("*",))},
+            )
+        )
+        engine = ExecutionEngine(jobs=2)
+        results = engine.run_sweep(small_trace, tasks)
+        assert sweep_bytes(results) == baseline
+        stats = engine.stats.snapshot()
+        assert stats["task_retries"] == len(tasks)
+        assert stats["pool_rebuilds"] == 1
+        assert stats["serial_fallbacks"] >= 1
+        assert stats["serial_tasks"] == len(tasks)
+
+    def test_batch_path_survives_first_attempt_crashes(
+        self, small_trace, tasks, baseline
+    ):
+        """run_batch shares the same recovery ladder as run_sweep."""
+        install_plan(
+            FaultPlan(
+                seed=1,
+                rules={"worker.crash": FaultRule(rate=1.0, match=("*:a0",))},
+            )
+        )
+        engine = ExecutionEngine(jobs=2)
+        results = engine.run_batch([(small_trace, task) for task in tasks])
+        assert sweep_bytes(results) == baseline
+        assert engine.stats.snapshot()["task_retries"] == len(tasks)
+
+    def test_custom_retry_policy_zero_retries_goes_straight_serial(
+        self, small_trace, tasks, baseline
+    ):
+        install_plan(
+            FaultPlan(
+                seed=1,
+                rules={"worker.crash": FaultRule(rate=1.0, match=("*",))},
+            )
+        )
+        engine = ExecutionEngine(
+            jobs=2, retry=RetryPolicy(task_retries=0, pool_rebuilds=0)
+        )
+        results = engine.run_sweep(small_trace, tasks)
+        assert sweep_bytes(results) == baseline
+        stats = engine.stats.snapshot()
+        assert stats["task_retries"] == 0
+        assert stats["pool_rebuilds"] == 0
+        assert stats["serial_tasks"] == len(tasks)
+
+
+class TestPoolInfrastructureFailures:
+    def test_pool_construction_failure_runs_whole_batch_serially(
+        self, small_trace, tasks, baseline, monkeypatch
+    ):
+        """Fork unavailable / resource squeeze at pool creation: the
+        engine never raises, it solves everything in-process."""
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(
+            engine_module, "ProcessPoolExecutor", broken_pool
+        )
+        engine = ExecutionEngine(jobs=2)
+        results = engine.run_sweep(small_trace, tasks)
+        assert sweep_bytes(results) == baseline
+        stats = engine.stats.snapshot()
+        assert stats["serial_fallbacks"] == 1
+        assert stats["serial_tasks"] == len(tasks)
+
+    def test_stale_worker_trace_retries_then_degrades_per_task(
+        self, small_trace, tasks, baseline, monkeypatch
+    ):
+        """The satellite regression test for StaleWorkerTraceError:
+        every worker installs the wrong trace digest, so every pool
+        attempt refuses loudly; after the retry budget the engine
+        solves each task serially against the *right* trace."""
+        real_install = engine_module._install_worker_trace
+
+        def stale_install(trace, digest=None):
+            real_install(trace, digest="stale-digest")
+
+        monkeypatch.setattr(
+            engine_module, "_install_worker_trace", stale_install
+        )
+        engine = ExecutionEngine(jobs=2)
+        results = engine.run_sweep(small_trace, tasks)
+        assert sweep_bytes(results) == baseline
+        stats = engine.stats.snapshot()
+        # Stale workers fail the task, not the pool: retried in the
+        # same pool (no rebuild), then degraded per task.
+        assert stats["task_retries"] == len(tasks)
+        assert stats["pool_rebuilds"] == 0
+        assert stats["serial_fallbacks"] >= 1
+        assert stats["serial_tasks"] == len(tasks)
+
+
+class TestStatsPlumbing:
+    def test_scoped_engines_share_stats(self):
+        parent = ExecutionEngine(jobs=2)
+        child = parent.scoped()
+        assert child.stats is parent.stats
+        assert child.retry is parent.retry
+
+    def test_stats_snapshot_shape(self):
+        stats = ExecutionEngine(jobs=1).stats.snapshot()
+        assert stats == {
+            "task_retries": 0,
+            "pool_rebuilds": 0,
+            "serial_fallbacks": 0,
+            "serial_tasks": 0,
+            "degraded": False,
+        }

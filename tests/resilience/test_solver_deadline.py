@@ -1,0 +1,151 @@
+"""The branch-and-bound wall-clock deadline and its equivalence gate.
+
+Two properties, both load-bearing:
+
+* **Equivalence**: with no deadline (or one that never fires) the
+  search path is untouched -- solutions are identical field-for-field
+  to the pre-deadline solver, which is what keeps every other
+  byte-identity guarantee in the repo intact.
+* **Graceful degradation**: an expiring deadline returns the best
+  incumbent flagged ``timed_out`` (or a bare ``TIME_LIMIT`` when none
+  exists yet) instead of running unboundedly.
+
+Deadline tests drive a fake monotonic clock (one tick per call), so
+node-exact cut points are deterministic -- no sleeps, no flakiness.
+"""
+
+import pytest
+
+import repro.milp.branch_bound as bb
+from repro.milp import (
+    BranchBoundOptions,
+    LinExpr,
+    Model,
+    SolveStatus,
+    solve_milp,
+)
+from repro.resilience import FaultPlan, FaultRule, install_plan
+
+
+def knapsack():
+    # Explores exactly 3 nodes: fractional root, incumbent (items 1+2,
+    # objective -20) at node 2, optimality proved at node 3.
+    model = Model("knapsack")
+    values = [10, 13, 7, 8]
+    weights = [3, 4, 2, 3]
+    xs = [model.binary_var(f"x{i}") for i in range(4)]
+    model.add(LinExpr.total(w * x for w, x in zip(weights, xs)) <= 6)
+    model.minimize(LinExpr.total(-v * x for v, x in zip(values, xs)))
+    return model, xs
+
+
+class _FakeClock:
+    """``time`` stand-in: monotonic() ticks 1.0 per call.
+
+    solve_milp reads the clock once at setup and once per node, so a
+    ``time_limit`` of ``n + 0.5`` expires exactly at node ``n + 1``.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+
+    def monotonic(self):
+        value = self.now
+        self.now += 1.0
+        return value
+
+
+@pytest.fixture
+def fake_clock(monkeypatch):
+    clock = _FakeClock()
+    monkeypatch.setattr(bb, "time", clock)
+    return clock
+
+
+def solution_fields(solution, xs):
+    return (
+        solution.status,
+        solution.objective,
+        solution.nodes,
+        solution.timed_out,
+        [solution[x] for x in xs],
+    )
+
+
+class TestEquivalenceGate:
+    def test_no_deadline_and_unreachable_deadline_are_identical(self):
+        model_a, xs_a = knapsack()
+        model_b, xs_b = knapsack()
+        bare = solve_milp(model_a)
+        bounded = solve_milp(
+            model_b, BranchBoundOptions(time_limit=3600.0)
+        )
+        assert solution_fields(bare, xs_a) == solution_fields(bounded, xs_b)
+        assert bare.status is SolveStatus.OPTIMAL
+        assert not bare.timed_out
+
+    def test_default_options_carry_no_deadline(self):
+        assert BranchBoundOptions().time_limit is None
+
+
+class TestDeadlineExpiry:
+    def test_expiry_before_any_incumbent_reports_time_limit(
+        self, fake_clock
+    ):
+        model, _xs = knapsack()
+        solution = solve_milp(
+            model, BranchBoundOptions(time_limit=1.5)
+        )
+        assert solution.status is SolveStatus.TIME_LIMIT
+        assert solution.timed_out
+        assert solution.objective is None
+        assert not solution.is_feasible
+
+    def test_expiry_after_incumbent_returns_it_flagged(self, fake_clock):
+        # Cut at node 3: the incumbent from node 2 comes back FEASIBLE
+        # (here it happens to equal the optimum, unproven at that point).
+        model, xs = knapsack()
+        solution = solve_milp(
+            model, BranchBoundOptions(time_limit=2.5)
+        )
+        assert solution.status is SolveStatus.FEASIBLE
+        assert solution.timed_out
+        assert solution.objective == pytest.approx(-20)
+        assert solution.is_feasible
+        assert all(float(solution[x]).is_integer() for x in xs)
+
+    def test_deadline_respects_node_accounting(self, fake_clock):
+        model, _xs = knapsack()
+        solution = solve_milp(
+            model, BranchBoundOptions(time_limit=1.5)
+        )
+        # The expiring node is still counted as explored.
+        assert solution.nodes == 2
+
+
+class TestSlowSolverInjection:
+    def test_injected_node_latency_triggers_a_real_deadline(self):
+        """With ``solver.slow`` stretching every node far past the
+        deadline, a wall-clock run times out on the first node."""
+        install_plan(
+            FaultPlan(
+                rules={"solver.slow": FaultRule(rate=1.0, delay_s=0.05)}
+            )
+        )
+        model, _xs = knapsack()
+        solution = solve_milp(
+            model, BranchBoundOptions(time_limit=0.01)
+        )
+        assert solution.timed_out
+        assert solution.status in (
+            SolveStatus.TIME_LIMIT, SolveStatus.FEASIBLE
+        )
+        assert solution.nodes == 1
+
+    def test_injection_off_means_no_latency(self):
+        model, _xs = knapsack()
+        solution = solve_milp(
+            model, BranchBoundOptions(time_limit=30.0)
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert not solution.timed_out

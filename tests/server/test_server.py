@@ -371,7 +371,13 @@ def base(server):
 
 class TestHTTP:
     def test_health(self, base):
-        assert http_get(base, "/v1/health") == (200, {"status": "ok"})
+        status, body = http_get(base, "/v1/health")
+        assert status == 200
+        # A fault-free module-scoped server must report healthy; the
+        # degraded shape is covered in tests/resilience.
+        assert body["status"] == "ok"
+        assert body["degraded"] is False
+        assert body["reasons"] == []
 
     def test_submit_poll_fetch_lifecycle(self, base):
         status, body = http_post(base, {"kind": "design", "app": "qsort"})
@@ -459,7 +465,12 @@ class TestHTTP:
         assert status == 200
         assert stats["coalescing"]["submitted"] >= 1
         assert stats["coalescing"]["executed"] >= 1
-        assert set(stats["queue"]) == {"depth", "active", "jobs"}
+        assert set(stats["queue"]) == {
+            "depth", "active", "jobs", "timeouts", "job_timeout"
+        }
+        assert stats["engine"]["degraded"] is False
+        assert stats["shedding"]["shed"] == 0
+        assert stats["faults"] is None
         assert stats["cache"] is not None
         assert stats["cache"]["entries"] >= 1
         assert stats["solves"]["in_process"] >= 0

@@ -4,8 +4,9 @@ The CLI wraps the library's main entry points for quick exploration::
 
     python -m repro list
     python -m repro design mat2 --window 1000 --threshold 0.3
-    python -m repro compare des --jobs 4
+    python -m repro compare des --jobs 4 --trace spans.jsonl
     python -m repro trace mat2 -o mat2.jsonl
+    python -m repro trace spans.jsonl --export-chrome spans.json
     python -m repro sweep-window --burst 1000 --jobs 4 --cache-dir .cache
     python -m repro scenarios list
     python -m repro scenarios run smoke --jobs 4 --report suite.json
@@ -22,8 +23,16 @@ Commands that solve or simulate independent points accept ``--jobs``
 cache, reused across invocations) and route through
 :class:`repro.exec.ExecutionEngine`. The same commands accept
 ``--profile``, which prints a per-phase wall-clock breakdown
-(windowing / overlap / conflicts / solve) from
-:data:`repro.profiling.PHASE_TIMER`.
+(windowing / overlap / conflicts / solve) plus the per-stage pipeline
+timings the metrics registry recorded during the run, and ``--trace
+FILE``, which arms span tracing around the command and writes the
+captured spans as JSONL -- feed that file back to ``repro trace`` for
+an indented tree or a Chrome/Perfetto export.
+
+``repro trace`` is dual-mode on its positional argument: an
+application name dumps its traffic trace as JSONL (``-o`` required),
+an existing span-JSONL file renders the span tree (optionally
+``--export-chrome``).
 """
 
 from __future__ import annotations
@@ -50,6 +59,8 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.exec import ExecutionEngine
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.profiling import PHASE_TIMER
 from repro.traffic import save_trace_jsonl
 
@@ -70,8 +81,25 @@ def _add_engine_options(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--profile", action="store_true",
         help="print a per-phase timing breakdown (windowing / overlap / "
-        "conflicts / solve) after the run",
+        "conflicts / solve) and the per-stage pipeline timings after "
+        "the run",
     )
+    subparser.add_argument(
+        "--trace", dest="trace_out", default=None, metavar="FILE",
+        help="arm span tracing for this run and write the captured "
+        "spans as JSONL to FILE (inspect with 'repro trace FILE')",
+    )
+
+
+def _stage_seconds_snapshot():
+    """``{stage: (count, seconds)}`` from the pipeline stage histogram."""
+    hist = _metrics.REGISTRY.get("repro_stage_seconds")
+    if hist is None:
+        return {}
+    return {
+        key[0]: (child.count, child.total)
+        for key, child in hist.collect().items()
+    }
 
 
 class _PhaseProfile:
@@ -81,6 +109,11 @@ class _PhaseProfile:
     :data:`repro.profiling.PHASE_TIMER`; with ``--jobs`` > 1 the
     synthesis work runs in pool workers whose timers this process cannot
     see, so the report warns when most phases recorded nothing.
+
+    Pipeline stage timings come from the (monotonic) metrics registry,
+    so the run's share is the difference between the snapshot taken
+    here and the one taken at :meth:`report` -- the registry itself is
+    never reset outside tests.
     """
 
     def __init__(self, enabled: bool, jobs: int) -> None:
@@ -88,6 +121,7 @@ class _PhaseProfile:
         self.jobs = jobs
         if enabled:
             PHASE_TIMER.reset()
+            self._stages_begin = _stage_seconds_snapshot()
         self._begin = time.perf_counter()
 
     def report(self) -> None:
@@ -96,6 +130,27 @@ class _PhaseProfile:
         elapsed = time.perf_counter() - self._begin
         print()
         print(PHASE_TIMER.format_report(total_elapsed=elapsed))
+        rows = []
+        for stage, (count, seconds) in sorted(
+            _stage_seconds_snapshot().items()
+        ):
+            before_count, before_seconds = self._stages_begin.get(
+                stage, (0, 0.0)
+            )
+            if count > before_count:
+                rows.append(
+                    [stage, count - before_count,
+                     f"{(seconds - before_seconds) * 1e3:.1f}"]
+                )
+        if rows:
+            print()
+            print(
+                format_table(
+                    ["stage", "computed", "total ms"],
+                    rows,
+                    title="pipeline stages (this run)",
+                )
+            )
         if self.jobs > 1 and not PHASE_TIMER.totals:
             print(
                 "note: with --jobs > 1 synthesis phases run in worker "
@@ -148,10 +203,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(compare)
 
     trace = sub.add_parser(
-        "trace", help="dump an application's full-crossbar trace as JSONL"
+        "trace",
+        help="dump an application's traffic trace, or inspect a span "
+        "capture",
+        description="Dual-mode: an application name dumps its "
+        "full-crossbar traffic trace as JSONL (-o required); an "
+        "existing span-JSONL file (from --trace FILE or a worker "
+        "spool) prints the span tree and optionally exports Chrome "
+        "trace-event JSON for chrome://tracing / Perfetto.",
     )
-    trace.add_argument("app", help="application name")
-    trace.add_argument("-o", "--output", required=True, help="output path")
+    trace.add_argument(
+        "app",
+        help="application name (see 'list') or a span-JSONL file path",
+    )
+    trace.add_argument(
+        "-o", "--output", default=None,
+        help="output path (traffic-trace mode only, required there)",
+    )
+    trace.add_argument(
+        "--export-chrome", default=None, metavar="FILE",
+        help="span mode: also write Chrome trace-event JSON to FILE",
+    )
 
     sweep = sub.add_parser(
         "sweep-window",
@@ -313,6 +385,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="log each HTTP request to stderr",
     )
     serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit one JSON object per request/job transition to "
+        "stderr (machine-readable; default is plain text)",
+    )
+    serve.add_argument(
+        "--no-trace", action="store_true",
+        help="disable span tracing (enabled by default; traces are "
+        "served at GET /v1/jobs/<id>/trace)",
+    )
+    serve.add_argument(
         "--job-timeout", type=float, default=None, metavar="SECONDS",
         help="fail any job that runs longer than this wall-clock bound "
         "(default: unbounded)",
@@ -453,6 +535,18 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    if args.app not in APPLICATIONS and Path(args.app).exists():
+        return _cmd_trace_spans(args)
+    from repro.errors import ConfigurationError
+
+    if args.output is None:
+        raise ConfigurationError(
+            "trace: -o/--output is required when dumping an "
+            "application's traffic trace (span mode needs an existing "
+            "span-JSONL file instead)"
+        )
     app = build_application(args.app)
     result = app.simulate_full_crossbar()
     save_trace_jsonl(result.trace, args.output)
@@ -460,6 +554,34 @@ def _cmd_trace(args) -> int:
         f"wrote {len(result.trace)} records "
         f"({result.trace.total_cycles} cycles) to {args.output}"
     )
+    return 0
+
+
+def _cmd_trace_spans(args) -> int:
+    """Span mode of ``repro trace``: render/export a span capture."""
+    from repro.errors import ConfigurationError
+    from repro.obs import export as _export
+
+    try:
+        spans = _export.load_jsonl(args.app)
+    except (ValueError, KeyError, TypeError) as error:
+        raise ConfigurationError(
+            f"{args.app} is not a span-JSONL file: {error}"
+        )
+    traces = sorted({span.trace_id for span in spans})
+    print(
+        f"{len(spans)} span(s) across {len(traces)} trace(s) "
+        f"from {args.app}"
+    )
+    print()
+    print(_export.format_span_tree(spans))
+    if args.export_chrome:
+        events = _export.write_chrome_trace(spans, args.export_chrome)
+        print(
+            f"\nwrote {events} Chrome trace events to "
+            f"{args.export_chrome} (open in chrome://tracing or "
+            f"https://ui.perfetto.dev)"
+        )
     return 0
 
 
@@ -705,6 +827,8 @@ def _cmd_serve(args) -> int:
         job_timeout=args.job_timeout,
         finished_ttl=args.finished_ttl,
         max_queue_depth=args.max_queue_depth,
+        trace=not args.no_trace,
+        log_json=args.log_json,
     )
     stop = threading.Event()
 
@@ -733,29 +857,55 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _captured_trace(args, run) -> int:
+    """Run a command with span tracing armed; export spans as JSONL.
+
+    The capture gets a synthetic ``cli.<command>`` root so every span
+    recorded during the run (including pool-worker spans merged from
+    the spool) hangs off one tree in the export.
+    """
+    from repro.obs import export as _export
+
+    armed_here = not _tracing.tracing_enabled()
+    if armed_here:
+        _tracing.arm_tracing()
+    try:
+        with _tracing.root_span(f"cli.{args.command}"):
+            code = run(args)
+        count = _export.write_jsonl(
+            _tracing.collect_spans(), args.trace_out
+        )
+        print(
+            f"wrote {count} span(s) to {args.trace_out} "
+            f"(inspect with 'repro trace {args.trace_out}')"
+        )
+    finally:
+        if armed_here:
+            _tracing.disarm_tracing()
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    try:
-        if args.command == "list":
-            return _cmd_list()
-        if args.command == "design":
-            return _cmd_design(args)
-        if args.command == "compare":
-            return _cmd_compare(args)
-        if args.command == "trace":
-            return _cmd_trace(args)
-        if args.command == "sweep-window":
-            return _cmd_sweep_window(args)
-        if args.command == "scenarios":
-            return _cmd_scenarios(args)
-        if args.command == "pipeline":
-            return _cmd_pipeline(args)
-        if args.command == "cache":
-            return _cmd_cache(args)
-        if args.command == "serve":
-            return _cmd_serve(args)
+    handlers = {
+        "list": lambda _args: _cmd_list(),
+        "design": _cmd_design,
+        "compare": _cmd_compare,
+        "trace": _cmd_trace,
+        "sweep-window": _cmd_sweep_window,
+        "scenarios": _cmd_scenarios,
+        "pipeline": _cmd_pipeline,
+        "cache": _cmd_cache,
+        "serve": _cmd_serve,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:
         raise AssertionError(f"unhandled command {args.command!r}")
+    try:
+        if getattr(args, "trace_out", None):
+            return _captured_trace(args, handler)
+        return handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -8,13 +8,19 @@ in :mod:`repro.core.binding` -- report every invocation here.
 
 The counter is process-local: work fanned out to pool workers is counted
 in the workers, not the parent. That is exactly what cache tests want --
-a warm-cache run in the parent must record zero local solves.
+a warm-cache run in the parent must record zero local solves. Every
+recording is also mirrored into the :mod:`repro.obs` registry
+(``repro_solves_total{kind=...}``), which is process-global and
+monotonic -- the ``/metrics`` view -- while the counter itself stays the
+resettable per-run view.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import threading
+from typing import Callable, Dict, List, Optional
 
+from repro.obs import metrics as _metrics
 from repro.profiling import PHASE_TIMER, PhaseTimer, track_phase
 
 __all__ = [
@@ -29,6 +35,12 @@ __all__ = [
     "track_phase",
 ]
 
+_SOLVES_TOTAL = _metrics.counter(
+    "repro_solves_total",
+    "Solver invocations by kind (feasibility probe / binding MILP).",
+    ("kind",),
+)
+
 
 class SolveCounter:
     """Counts solver invocations; supports observer callbacks.
@@ -39,22 +51,39 @@ class SolveCounter:
         Number of feasibility probes (MILP1 / assignment feasibility).
     binding:
         Number of binding optimizations (MILP2).
+
+    Updates are lock-protected and :meth:`snapshot` is the atomic read:
+    the server's stats endpoint consumes that instead of reading the
+    fields one by one while solver threads are writing them.
     """
 
     def __init__(self) -> None:
         self.feasibility = 0
         self.binding = 0
+        self._lock = threading.Lock()
         self._observers: List[Callable[[str], None]] = []
 
     @property
     def total(self) -> int:
         """All solver invocations since the last :meth:`reset`."""
-        return self.feasibility + self.binding
+        with self._lock:
+            return self.feasibility + self.binding
 
     def reset(self) -> None:
-        """Zero both counters (observers stay registered)."""
-        self.feasibility = 0
-        self.binding = 0
+        """Zero both counters (observers stay registered; the registry
+        mirror is monotonic and is deliberately left alone)."""
+        with self._lock:
+            self.feasibility = 0
+            self.binding = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Both counters in one consistent read."""
+        with self._lock:
+            return {
+                "feasibility": self.feasibility,
+                "binding": self.binding,
+                "total": self.feasibility + self.binding,
+            }
 
     def subscribe(self, observer: Callable[[str], None]) -> None:
         """Call ``observer(kind)`` on every recorded solve."""
@@ -66,12 +95,16 @@ class SolveCounter:
 
     def record(self, kind: str) -> None:
         """Record one solver invocation of ``kind``."""
-        if kind == "feasibility":
-            self.feasibility += 1
-        elif kind == "binding":
-            self.binding += 1
-        else:
+        if kind not in ("feasibility", "binding"):
             raise ValueError(f"unknown solve kind {kind!r}")
+        with self._lock:
+            if kind == "feasibility":
+                self.feasibility += 1
+            else:
+                self.binding += 1
+        _SOLVES_TOTAL.inc(kind=kind)
+        # Observers run outside the lock: they may be arbitrary user
+        # code (progress feeds) and must not serialize solver threads.
         for observer in self._observers:
             observer(kind)
 

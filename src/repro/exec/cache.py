@@ -44,9 +44,16 @@ from repro.exec.serialize import (
     result_from_dict,
     result_to_dict,
 )
+from repro.obs import metrics as _metrics
 from repro.resilience import maybe_io_error, should_corrupt_cache
 
 __all__ = ["CacheStats", "CacheUsage", "ResultCache"]
+
+_CACHE_EVENTS = _metrics.counter(
+    "repro_cache_events_total",
+    "Result-cache events across every cache instance in the process.",
+    ("event",),
+)
 
 
 @dataclass
@@ -117,13 +124,44 @@ class ResultCache:
         invalid: int = 0,
         write_errors: int = 0,
     ) -> None:
-        """Apply one statistics update atomically."""
+        """Apply one statistics update atomically.
+
+        The single funnel for cache accounting, which makes it the one
+        place to mirror events into the process-global registry (the
+        ``/metrics`` view, aggregated across cache instances).
+        """
         with self._stats_lock:
             self.stats.hits += hits
             self.stats.misses += misses
             self.stats.stores += stores
             self.stats.invalid += invalid
             self.stats.write_errors += write_errors
+        for event, count in (  # registry mirror, outside our lock
+            ("hit", hits),
+            ("miss", misses),
+            ("store", stores),
+            ("invalid", invalid),
+            ("write_error", write_errors),
+        ):
+            if count:
+                _CACHE_EVENTS.inc(count, event=event)
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """One atomic cut of this instance's statistics.
+
+        Reading ``cache.stats`` field by field can interleave with a
+        concurrent ``_record`` and return, e.g., a hit count newer than
+        the miss count beside it; payloads that report several fields
+        together (the server's ``/v1/stats``) read through this.
+        """
+        with self._stats_lock:
+            return {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "stores": self.stats.stores,
+                "invalid": self.stats.invalid,
+                "write_errors": self.stats.write_errors,
+            }
 
     def _path(self, key: str) -> Path:
         if not key or any(ch in key for ch in "/\\."):

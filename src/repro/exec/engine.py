@@ -50,6 +50,7 @@ from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache
 from repro.exec.fingerprint import task_key, trace_fingerprint
 from repro.exec.serialize import SynthesisResult
+from repro.obs import tracing as _tracing
 from repro.resilience import EngineStats, RetryPolicy, maybe_crash_worker
 from repro.platform.drivers import TraceDrivenInitiator, simulate_workload
 from repro.platform.metrics import LatencyStats
@@ -170,7 +171,12 @@ def _replay_in_worker(
     index: int, task: ReplayTask, attempt: int = 0
 ) -> Tuple[int, ReplayOutcome]:
     maybe_crash_worker(f"{index}:a{attempt}")
-    return index, _run_replay_task(task)
+    # Worker spans resolve their trace context lazily from REPRO_TRACE
+    # (exported by the parent's propagate_context around the fan-out)
+    # and spool to disk, so the job's tree spans processes. A crashed
+    # worker writes no span; the surviving retry's attempt appears.
+    with _tracing.span("worker.replay", index=index, attempt=attempt):
+        return index, _run_replay_task(task)
 
 
 class StaleWorkerTraceError(RuntimeError):
@@ -223,7 +229,13 @@ def _solve_task_in_worker(
             f"expects {expected_digest!r}; refusing to solve against a "
             f"stale trace"
         )
-    return index, _solve_task(_WORKER_TRACE, task)
+    with _tracing.span(
+        "worker.solve",
+        index=index,
+        attempt=attempt,
+        window=task.window_size,
+    ):
+        return index, _solve_task(_WORKER_TRACE, task)
 
 
 def _solve_task(trace: TrafficTrace, task: SynthesisTask) -> SynthesisResult:
@@ -238,8 +250,14 @@ def _solve_batch_item(
 ) -> Tuple[int, SynthesisResult]:
     """Pool entry point for batch items, which carry their own trace."""
     maybe_crash_worker(f"{index}:a{attempt}")
-    warm_analytics(trace)
-    return index, _solve_task(trace, task)
+    with _tracing.span(
+        "worker.solve",
+        index=index,
+        attempt=attempt,
+        window=task.window_size,
+    ):
+        warm_analytics(trace)
+        return index, _solve_task(trace, task)
 
 
 def _simulate_outcome(
@@ -275,10 +293,11 @@ def _evaluate_in_worker(
     maybe_crash_worker(f"{index}:a{attempt}")
     from repro.apps import build_application
 
-    application = build_application(registry_key)
-    return index, _simulate_outcome(
-        application, it_binding, ti_binding, label, bus_count, budget
-    )
+    with _tracing.span("worker.evaluate", index=index, attempt=attempt):
+        application = build_application(registry_key)
+        return index, _simulate_outcome(
+            application, it_binding, ti_binding, label, bus_count, budget
+        )
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -374,7 +393,26 @@ class ExecutionEngine:
         infrastructure faults -- :class:`BrokenProcessPool`,
         :class:`OSError`, :class:`StaleWorkerTraceError` -- climb the
         ladder, and every rung taken is recorded in :attr:`stats`.
+
+        The whole ladder runs inside one ``engine.pool_map`` span with
+        the trace context exported to ``REPRO_TRACE``
+        (:func:`repro.obs.propagate_context`): the initial pool *and*
+        any pool rebuilt mid-batch inherit the same parent span, so a
+        job's trace tree survives worker crashes.
         """
+        with _tracing.span("engine.pool_map", tasks=count):
+            with _tracing.propagate_context():
+                return self._pool_map_impl(
+                    count, make_pool, submit_one, serial_one
+                )
+
+    def _pool_map_impl(
+        self,
+        count: int,
+        make_pool: Callable[[], ProcessPoolExecutor],
+        submit_one: Callable[[ProcessPoolExecutor, int, int], "Future"],
+        serial_one: Callable[[int], object],
+    ) -> List[object]:
         results: Dict[int, object] = {}
         attempts = {index: 0 for index in range(count)}
 
@@ -526,10 +564,11 @@ class ExecutionEngine:
         # once, before any point is solved: the serial path reuses it
         # across every task, and pool workers inherit it instead of
         # compiling per sweep point.
-        warm_analytics(trace)
-        if self.jobs > 1 and len(tasks) > 1:
-            return self._solve_parallel(trace, tasks)
-        return [_solve_task(trace, task) for task in tasks]
+        with _tracing.span("engine.sweep", tasks=len(tasks)):
+            warm_analytics(trace)
+            if self.jobs > 1 and len(tasks) > 1:
+                return self._solve_parallel(trace, tasks)
+            return [_solve_task(trace, task) for task in tasks]
 
     def _solve_parallel(
         self, trace: TrafficTrace, tasks: Sequence[SynthesisTask]
@@ -626,13 +665,14 @@ class ExecutionEngine:
     def _solve_batch(
         self, items: Sequence[Tuple[TrafficTrace, SynthesisTask]]
     ) -> List[SynthesisResult]:
-        if self.jobs > 1 and len(items) > 1:
-            return self._solve_batch_parallel(items)
-        results = []
-        for trace, task in items:
-            warm_analytics(trace)
-            results.append(_solve_task(trace, task))
-        return results
+        with _tracing.span("engine.batch", items=len(items)):
+            if self.jobs > 1 and len(items) > 1:
+                return self._solve_batch_parallel(items)
+            results = []
+            for trace, task in items:
+                warm_analytics(trace)
+                results.append(_solve_task(trace, task))
+            return results
 
     def _solve_batch_parallel(
         self, items: Sequence[Tuple[TrafficTrace, SynthesisTask]]
@@ -669,9 +709,10 @@ class ExecutionEngine:
         whatever the job count. Caching lives one layer up, in the
         pipeline's replay stage (the engine is handed only the misses).
         """
-        if self.jobs > 1 and len(tasks) > 1:
-            return self._run_replays_parallel(tasks)
-        return [_run_replay_task(task) for task in tasks]
+        with _tracing.span("engine.replay", tasks=len(tasks)):
+            if self.jobs > 1 and len(tasks) > 1:
+                return self._run_replays_parallel(tasks)
+            return [_run_replay_task(task) for task in tasks]
 
     def _run_replays_parallel(self, tasks: Sequence[ReplayTask]) -> List[ReplayOutcome]:
         workers = min(self.jobs, len(tasks))
@@ -705,23 +746,24 @@ class ExecutionEngine:
         (default registry builds); customized or hand-built
         applications always run serially.
         """
-        if (
-            self.jobs > 1
-            and len(designs) > 1
-            and getattr(application, "registry_key", None) is not None
-        ):
-            return self._evaluate_parallel(application, designs, budget)
-        return [
-            _simulate_outcome(
-                application,
-                design.it.as_list(),
-                design.ti.as_list(),
-                design.label,
-                design.bus_count,
-                budget,
-            )
-            for design in designs
-        ]
+        with _tracing.span("engine.evaluate", designs=len(designs)):
+            if (
+                self.jobs > 1
+                and len(designs) > 1
+                and getattr(application, "registry_key", None) is not None
+            ):
+                return self._evaluate_parallel(application, designs, budget)
+            return [
+                _simulate_outcome(
+                    application,
+                    design.it.as_list(),
+                    design.ti.as_list(),
+                    design.label,
+                    design.bus_count,
+                    budget,
+                )
+                for design in designs
+            ]
 
     def _evaluate_parallel(
         self, application, designs: Sequence, budget: int

@@ -25,7 +25,7 @@ import heapq
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,8 @@ from repro.errors import SolverError
 from repro.milp.model import Model
 from repro.milp.simplex import LPStatus, SimplexResult, solve_lp_simplex
 from repro.milp.solution import Solution, SolveStatus
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.resilience import maybe_slow_solver
 
 __all__ = ["BranchBoundOptions", "solve_milp"]
@@ -40,6 +42,28 @@ __all__ = ["BranchBoundOptions", "solve_milp"]
 LPEngine = Callable[..., SimplexResult]
 
 _INT_TOL = 1e-6
+
+# Bound at import: deadline tests replace this module's ``time`` with a
+# fake monotonic clock, and LP accounting must keep working (and keep
+# measuring real time) underneath them.
+_perf_counter = time.perf_counter
+
+# Solver observability: accumulated locally during the search and
+# recorded ONCE per solve -- never per node, whose count is the one
+# thing that must stay cheap. The LP-time histogram is what makes the
+# ROADMAP's HiGHS-vs-simplex comparison measurable.
+_SOLVER_NODES = _metrics.counter(
+    "repro_solver_nodes_total",
+    "Branch-and-bound nodes explored across all solves.",
+)
+_SOLVER_INCUMBENTS = _metrics.counter(
+    "repro_solver_incumbents_total",
+    "Incumbent (best integer solution) updates across all solves.",
+)
+_SOLVER_LP_SECONDS = _metrics.histogram(
+    "repro_solver_lp_seconds",
+    "Total LP-relaxation wall-clock seconds per MILP solve.",
+)
 
 
 @dataclass(frozen=True)
@@ -94,6 +118,29 @@ class _Node:
 def solve_milp(model: Model, options: Optional[BranchBoundOptions] = None) -> Solution:
     """Solve ``model`` to optimality (or first feasible point) by B&B."""
     options = options or BranchBoundOptions()
+    accounting = {"lp_s": 0.0, "incumbents": 0}
+    with _tracing.span(
+        "solver.milp",
+        engine=options.lp_engine,
+        feasibility_only=options.feasibility_only,
+    ) as span_:
+        solution = _solve_impl(model, options, accounting)
+        span_.set_attr(
+            nodes=solution.nodes,
+            status=getattr(solution.status, "name", str(solution.status)),
+            incumbents=accounting["incumbents"],
+            lp_ms=round(accounting["lp_s"] * 1e3, 3),
+        )
+    _SOLVER_NODES.inc(solution.nodes)
+    _SOLVER_LP_SECONDS.observe(accounting["lp_s"])
+    if accounting["incumbents"]:
+        _SOLVER_INCUMBENTS.inc(accounting["incumbents"])
+    return solution
+
+
+def _solve_impl(
+    model: Model, options: BranchBoundOptions, accounting: Dict[str, Any]
+) -> Solution:
     engine = options.resolve_engine()
     deadline = (
         time.monotonic() + options.time_limit
@@ -105,10 +152,13 @@ def solve_milp(model: Model, options: Optional[BranchBoundOptions] = None) -> So
 
     def relax(overrides: Dict[int, Tuple[float, float]]) -> SimplexResult:
         sub = model.to_standard_form(bound_overrides=overrides)
-        return engine(
+        begin = _perf_counter()
+        result = engine(
             sub.objective, sub.a_ub, sub.b_ub, sub.a_eq, sub.b_eq,
             sub.lower, sub.upper,
         )
+        accounting["lp_s"] += _perf_counter() - begin
+        return result
 
     root = relax({})
     if root.status is LPStatus.INFEASIBLE:
@@ -160,6 +210,7 @@ def solve_milp(model: Model, options: Optional[BranchBoundOptions] = None) -> So
         if fractional is None:
             incumbent_obj = relaxation.objective
             incumbent_x = x
+            accounting["incumbents"] += 1
             if options.feasibility_only:
                 return _finish(
                     SolveStatus.OPTIMAL, incumbent_x, incumbent_obj, form,

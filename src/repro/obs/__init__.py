@@ -1,0 +1,92 @@
+"""``repro.obs`` -- the platform's unified observability layer.
+
+One package replaces five ad-hoc mechanisms (``PhaseTimer``,
+``SOLVE_COUNTER``, ``EngineStats``, ``StageCounters``, hand-rolled
+``/v1/stats`` dicts):
+
+* :mod:`repro.obs.metrics` -- a thread-safe registry of counters,
+  gauges and histograms with label sets, rendered as Prometheus text
+  exposition for ``GET /metrics``.
+* :mod:`repro.obs.tracing` -- spans with trace/span ids, wall + CPU
+  durations and parent links, propagated into pool workers via the
+  ``REPRO_TRACE`` environment variable so one job's trace tree spans
+  processes.
+* :mod:`repro.obs.export` -- spans as JSONL, Chrome ``trace_event``
+  JSON (Perfetto-loadable) or an indented terminal table.
+* :mod:`repro.obs.jsonlog` -- structured JSON-lines logging for
+  ``repro serve --log-json``.
+
+The package imports only the standard library, sitting below every
+other ``repro`` subpackage (like :mod:`repro.profiling`, which is now a
+shim over it) so any layer can instrument itself without import cycles.
+"""
+
+from repro.obs.export import (
+    format_span_tree,
+    load_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.jsonlog import JsonLogger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+    render_prometheus,
+)
+from repro.obs.tracing import (
+    TRACE_ENV_VAR,
+    Span,
+    TraceCollector,
+    arm_tracing,
+    clear_spans,
+    collect_spans,
+    current_span,
+    disarm_tracing,
+    propagate_context,
+    root_span,
+    span,
+    spool_directory,
+    tracing_enabled,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "render_prometheus",
+    # tracing
+    "TRACE_ENV_VAR",
+    "Span",
+    "TraceCollector",
+    "arm_tracing",
+    "disarm_tracing",
+    "tracing_enabled",
+    "span",
+    "root_span",
+    "current_span",
+    "propagate_context",
+    "collect_spans",
+    "clear_spans",
+    "spool_directory",
+    # export
+    "write_jsonl",
+    "load_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "format_span_tree",
+    # logging
+    "JsonLogger",
+]

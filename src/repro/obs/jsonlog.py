@@ -1,0 +1,50 @@
+"""Structured (JSON-lines) logging for the serve daemon.
+
+``repro serve --log-json`` swaps the daemon's human-oriented stderr
+lines for one JSON object per event -- request handled, job state
+transition -- so a log pipeline can filter on fields (job id,
+fingerprint, disposition, duration, trace id) instead of regexing
+prose. Plain text stays the default; this module is inert unless a
+:class:`JsonLogger` is constructed and handed to the server.
+
+Events go to **stderr** (like the text logs they replace): stdout is
+reserved for report payloads whose byte-identity the chaos suite
+asserts, so structured logging can never perturb a deterministic run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, IO, Optional
+
+__all__ = ["JsonLogger"]
+
+
+class JsonLogger:
+    """Thread-safe one-object-per-line JSON event logger."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one event line; unserializable values are stringified
+        and write failures swallowed (logging must not fail the
+        request it logs)."""
+        payload = {"event": event, "ts": round(time.time(), 6)}
+        payload.update(fields)
+        try:
+            line = json.dumps(payload, sort_keys=True, default=str)
+        except (TypeError, ValueError):
+            line = json.dumps(
+                {"event": event, "ts": payload["ts"], "error": "unserializable"}
+            )
+        try:
+            with self._lock:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+        except (OSError, ValueError):
+            pass

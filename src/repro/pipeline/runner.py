@@ -41,6 +41,7 @@ explicitly -- opt in per runner.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -65,6 +66,8 @@ from repro.pipeline.artifacts import (
     window_stage_spec,
 )
 from repro.errors import ConfigurationError, SynthesisError
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.pipeline.store import ArtifactStore
 from repro.platform.drivers import WorkloadDriver, simulate_workload
 from repro.profiling import track_phase
@@ -79,6 +82,29 @@ __all__ = [
     "reset_shared_runner",
     "describe_stages",
 ]
+
+_STAGE_SECONDS = _metrics.histogram(
+    "repro_stage_seconds",
+    "Wall-clock seconds per executed (non-cached) pipeline stage.",
+    ("stage",),
+)
+
+
+def _timed_stage(stage: str, fingerprint: str, compute):
+    """Run one stage compute under a ``pipeline.<stage>`` span and feed
+    its duration into ``repro_stage_seconds``.
+
+    Only *executed* stages pass through here -- cache hits stay on
+    their untimed fast path, so the histogram measures real stage cost,
+    not lookup cost.
+    """
+    begin = time.perf_counter()
+    with _tracing.span(
+        f"pipeline.{stage}", fingerprint=fingerprint[:12]
+    ):
+        artifact = compute()
+    _STAGE_SECONDS.observe(time.perf_counter() - begin, stage=stage)
+    return artifact
 
 
 @dataclass(frozen=True)
@@ -149,7 +175,7 @@ class PipelineRunner:
             self.counters.record_memo_hit(stage)
             return cached
         self.counters.record_computed(stage)
-        artifact = compute()
+        artifact = _timed_stage(stage, fingerprint, compute)
         self.store.put(fingerprint, artifact)
         return artifact
 
@@ -209,12 +235,18 @@ class PipelineRunner:
                 self.store.put(fingerprint, artifact)
                 return artifact
         self.counters.record_computed("window")
-        trace = collected.trace.mirrored() if mirrored else collected.trace
-        artifact = WindowedAnalysis(
-            problem=self._problem_for(trace, window_size, config),
-            mirrored=mirrored,
-            fingerprint=fingerprint,
-        )
+
+        def _compute() -> WindowedAnalysis:
+            trace = (
+                collected.trace.mirrored() if mirrored else collected.trace
+            )
+            return WindowedAnalysis(
+                problem=self._problem_for(trace, window_size, config),
+                mirrored=mirrored,
+                fingerprint=fingerprint,
+            )
+
+        artifact = _timed_stage("window", fingerprint, _compute)
         self.store.put(fingerprint, artifact)
         self.store.put_arrays(fingerprint, _window_arrays(artifact))
         return artifact
@@ -321,21 +353,25 @@ class PipelineRunner:
                     self.store.put(fingerprint, artifact)
                     return artifact
         self.counters.record_computed(stage)
-        with track_phase("solve"):
-            search = search_minimum_buses(problem, conflicts, config)
-            binding = optimize_binding(
-                problem, conflicts, search.num_buses, config
+
+        def _compute() -> BindingArtifact:
+            with track_phase("solve"):
+                search = search_minimum_buses(problem, conflicts, config)
+                binding = optimize_binding(
+                    problem, conflicts, search.num_buses, config
+                )
+                audit_binding(
+                    problem,
+                    conflicts,
+                    binding.binding,
+                    config.max_targets_per_bus,
+                    raise_on_violation=True,
+                )
+            return BindingArtifact(
+                search=search, binding=binding, fingerprint=fingerprint
             )
-            audit_binding(
-                problem,
-                conflicts,
-                binding.binding,
-                config.max_targets_per_bus,
-                raise_on_violation=True,
-            )
-        artifact = BindingArtifact(
-            search=search, binding=binding, fingerprint=fingerprint
-        )
+
+        artifact = _timed_stage(stage, fingerprint, _compute)
         if self.memoize_bindings:
             self.store.put(fingerprint, artifact)
             self.store.put_payload(fingerprint, artifact.to_payload())
@@ -401,6 +437,18 @@ class PipelineRunner:
         label: str = "",
     ) -> PipelineDesign:
         """The full staged flow for both crossbars of one point."""
+        with _tracing.span(
+            "pipeline.design", window=window_size, label=label
+        ):
+            return self._design(trace, config, window_size, label)
+
+    def _design(
+        self,
+        trace: Union[TrafficTrace, CollectedTraffic],
+        config: SynthesisConfig,
+        window_size: int,
+        label: str = "",
+    ) -> PipelineDesign:
         collected = self.collect(trace, label=label)
         it = self.design_side(collected, config, window_size, mirrored=False)
         ti = self.design_side(collected, config, window_size, mirrored=True)
@@ -488,8 +536,12 @@ class PipelineRunner:
             if cached is not None:
                 return cached
         self.counters.record_computed("replay")
-        artifact = _run_replay(
-            driver, design, budget, fingerprint or "", label
+        artifact = _timed_stage(
+            "replay",
+            fingerprint or "",
+            lambda: _run_replay(
+                driver, design, budget, fingerprint or "", label
+            ),
         )
         if fingerprint is not None:
             self.store.put(fingerprint, artifact)

@@ -34,10 +34,17 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 import numpy as np
 
 from repro.exec.cache import ResultCache
+from repro.obs import metrics as _metrics
 
 __all__ = ["StageCounters", "ArtifactStore", "STAGE_ENTRY_FORMAT"]
 
 STAGE_ENTRY_FORMAT = "repro-stage-artifact-v1"
+
+_STAGE_EVENTS = _metrics.counter(
+    "repro_stage_events_total",
+    "Pipeline stage outcomes (computed vs memo/disk cache hits).",
+    ("stage", "kind"),
+)
 
 _DEFAULT_MEMORY_SLOTS = 128
 """In-memory artifacts kept per store before LRU eviction. Sized for the
@@ -84,6 +91,9 @@ class StageCounters:
     def _bump(self, table: Dict[str, int], kind: str, stage: str) -> None:
         with self._lock:
             table[stage] = table.get(stage, 0) + 1
+        # Registry mirror: process-global, monotonic, never reset by
+        # per-run snapshots/deltas -- the /metrics view of stage work.
+        _STAGE_EVENTS.inc(stage=stage, kind=kind)
         for observer in list(self._observers):
             observer(kind, stage)
 

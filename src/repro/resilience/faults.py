@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "FAULT_POINTS",
@@ -82,6 +83,12 @@ FAULT_POINTS = (
 )
 
 _WORKER_EXIT_CODE = 70  # EX_SOFTWARE: an induced, not accidental, death
+
+_FAULTS_FIRED = _metrics.counter(
+    "repro_faults_fired_total",
+    "Injected faults that actually fired, by injection point.",
+    ("point",),
+)
 
 
 class InjectedFault(OSError):
@@ -220,6 +227,10 @@ class FaultPlan:
             ):
                 return False
             self._fired[point] = self._fired.get(point, 0) + 1
+        # Registry mirror (process-global, monotonic); the per-plan
+        # tallies above stay authoritative for fault_summary() -- tests
+        # assert them per plan, which a global counter cannot provide.
+        _FAULTS_FIRED.inc(point=point)
         return True
 
     def fired(self) -> Dict[str, int]:

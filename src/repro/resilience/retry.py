@@ -17,8 +17,15 @@ from dataclasses import dataclass
 from typing import Any, Dict
 
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _metrics
 
 __all__ = ["RetryPolicy", "EngineStats"]
+
+_ENGINE_EVENTS = _metrics.counter(
+    "repro_engine_events_total",
+    "Execution-engine recovery ladder events.",
+    ("event",),
+)
 
 
 @dataclass(frozen=True)
@@ -77,16 +84,20 @@ class EngineStats:
     def record_task_retry(self, count: int = 1) -> None:
         with self._lock:
             self.task_retries += count
+        _ENGINE_EVENTS.inc(count, event="task_retry")
 
     def record_pool_rebuild(self) -> None:
         with self._lock:
             self.pool_rebuilds += 1
+        _ENGINE_EVENTS.inc(event="pool_rebuild")
 
     def record_serial_fallback(self, tasks: int) -> None:
         """A batch (or its remainder) gave up on the pool entirely."""
         with self._lock:
             self.serial_fallbacks += 1
             self.serial_tasks += tasks
+        _ENGINE_EVENTS.inc(event="serial_fallback")
+        _ENGINE_EVENTS.inc(tasks, event="serial_task")
 
     @property
     def degraded(self) -> bool:

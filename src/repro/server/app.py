@@ -7,14 +7,21 @@ encode the answer as JSON. No synthesis logic lives here -- the service
 is fully testable without sockets, and the HTTP tests only need to
 cover the translation.
 
-Endpoints (all JSON; see docs/http-api.md for schemas and examples)::
+Endpoints (all JSON unless noted; see docs/http-api.md)::
 
-    POST   /v1/jobs         submit a job          -> 202 {job, disposition}
-    GET    /v1/jobs         list known jobs       -> 200 {jobs: [...]}
-    GET    /v1/jobs/<id>    job status + result   -> 200 {state, ...}
-    DELETE /v1/jobs/<id>    cancel a queued job   -> 200 {state: cancelled}
-    GET    /v1/stats        daemon observability  -> 200 {...}
-    GET    /v1/health       liveness + degradation-> 200 {status, ...}
+    POST   /v1/jobs             submit a job         -> 202 {job, disposition}
+    GET    /v1/jobs             list known jobs      -> 200 {jobs: [...]}
+    GET    /v1/jobs/<id>        job status + result  -> 200 {state, ...}
+    GET    /v1/jobs/<id>/trace  job span tree        -> 200 {trace_id, spans}
+    DELETE /v1/jobs/<id>        cancel a queued job  -> 200 {state: cancelled}
+    GET    /v1/stats            daemon observability -> 200 {...}
+    GET    /v1/health           liveness+degradation -> 200 {status, ...}
+    GET    /metrics             Prometheus text      -> 200 (text/plain)
+
+Every request is itself measured: per-endpoint latency histograms and
+a method/endpoint/status counter feed the same registry ``/metrics``
+renders, with URL paths collapsed to low-cardinality templates
+(``/v1/jobs/<id>`` rather than each job id).
 
 ``GET /v1/jobs/<id>?wait=<seconds>`` long-polls: the response is sent
 as soon as the job turns terminal, or with its current state once the
@@ -34,10 +41,13 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import metrics as _metrics
+from repro.obs.jsonlog import JsonLogger
 from repro.server.schemas import RequestError
 from repro.server.service import ServiceOverloaded, SynthesisService
 
@@ -45,6 +55,33 @@ __all__ = ["SynthesisServer", "serve"]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024  # inline suites are small; 8 MiB is ample
 _MAX_WAIT_SECONDS = 60.0
+
+_HTTP_REQUESTS = _metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, endpoint template and status.",
+    ("method", "endpoint", "status"),
+)
+_HTTP_SECONDS = _metrics.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency by method and endpoint template.",
+    ("method", "endpoint"),
+)
+
+
+def _endpoint_label(path: str) -> str:
+    """Collapse a request path to a bounded endpoint template.
+
+    Metrics labels must stay low-cardinality: every distinct label set
+    is a live time series, so job ids (and arbitrary probe paths) are
+    folded into templates instead of being recorded verbatim.
+    """
+    if path in ("/v1/jobs", "/v1/stats", "/v1/health", "/metrics"):
+        return path
+    if path.startswith("/v1/jobs/"):
+        if path.endswith("/trace"):
+            return "/v1/jobs/<id>/trace"
+        return "/v1/jobs/<id>"
+    return "other"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -59,6 +96,43 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(fmt, *args)
 
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        # Remembered so the dispatch wrapper can label the request
+        # counter with the status actually sent.
+        self._sent_status = code
+        super().send_response(code, message)
+
+    def _dispatch(self, method: str, handler) -> None:
+        """Time one request and record it into the metrics registry.
+
+        Long-poll waits (``?wait=``) count toward the latency histogram
+        -- it measures handler occupancy, not just compute.
+        """
+        path, _ = self._route()
+        endpoint = _endpoint_label(path)
+        self._sent_status = 0
+        began = time.perf_counter()
+        try:
+            handler()
+        finally:
+            elapsed = time.perf_counter() - began
+            _HTTP_SECONDS.observe(elapsed, method=method, endpoint=endpoint)
+            _HTTP_REQUESTS.inc(
+                method=method,
+                endpoint=endpoint,
+                status=str(self._sent_status or 500),
+            )
+            log = self.server.service.log
+            if log is not None:
+                log.emit(
+                    "http.request",
+                    method=method,
+                    endpoint=endpoint,
+                    path=path,
+                    status=self._sent_status or 500,
+                    duration_s=round(elapsed, 6),
+                )
+
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
@@ -66,6 +140,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(
+        self, status: int, body: str, content_type: str = "text/plain"
+    ) -> None:
+        raw = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
 
     def _send_error_json(self, status: int, message: str, **details) -> None:
         error: Dict[str, Any] = {"message": message}
@@ -100,6 +184,20 @@ class _Handler(BaseHTTPRequestHandler):
         return parts.path.rstrip("/") or "/", query
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch("POST", self._handle_post)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch("GET", self._handle_get)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch("DELETE", self._handle_delete)
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch("PUT", self._handle_other)
+
+    do_PATCH = do_PUT
+
+    def _handle_post(self) -> None:
         path, _query = self._route()
         if path != "/v1/jobs":
             self._send_error_json(404, f"no such resource: {path}")
@@ -140,7 +238,7 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
-    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+    def _handle_get(self) -> None:
         path, query = self._route()
         if path == "/v1/health":
             self._send_json(200, self.server.service.health())
@@ -148,12 +246,27 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/v1/stats":
             self._send_json(200, self.server.service.stats())
             return
+        if path == "/metrics":
+            self._send_text(
+                200,
+                _metrics.render_prometheus(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
         if path == "/v1/jobs":
             jobs = [
                 job.status(include_result=False)
                 for job in self.server.service.queue.jobs()
             ]
             self._send_json(200, {"jobs": jobs})
+            return
+        if path.startswith("/v1/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/v1/jobs/"):-len("/trace")]
+            trace = self.server.service.job_trace(job_id)
+            if trace is None:
+                self._send_error_json(404, f"no such job: {job_id}")
+                return
+            self._send_json(200, trace)
             return
         if path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/"):]
@@ -181,7 +294,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_error_json(404, f"no such resource: {path}")
 
-    def do_DELETE(self) -> None:  # noqa: N802 - stdlib handler naming
+    def _handle_delete(self) -> None:
         path, _query = self._route()
         if not path.startswith("/v1/jobs/"):
             self._send_error_json(405, "method not allowed")
@@ -202,10 +315,8 @@ class _Handler(BaseHTTPRequestHandler):
         job = self.server.service.queue.get(job_id)
         self._send_json(200, job.status(include_result=False))
 
-    def do_PUT(self) -> None:  # noqa: N802 - stdlib handler naming
+    def _handle_other(self) -> None:
         self._send_error_json(405, "method not allowed")
-
-    do_PATCH = do_PUT
 
 
 class SynthesisServer(ThreadingHTTPServer):
@@ -230,6 +341,8 @@ class SynthesisServer(ThreadingHTTPServer):
         job_timeout: Optional[float] = None,
         finished_ttl: Optional[float] = None,
         max_queue_depth: Optional[int] = None,
+        trace: bool = True,
+        log_json: bool = False,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.service = SynthesisService(
@@ -239,6 +352,8 @@ class SynthesisServer(ThreadingHTTPServer):
             job_timeout=job_timeout,
             finished_ttl=finished_ttl,
             max_queue_depth=max_queue_depth,
+            trace=trace,
+            log=JsonLogger() if log_json else None,
         )
         self.verbose = verbose
         self.draining = threading.Event()
@@ -280,6 +395,8 @@ def serve(
     job_timeout: Optional[float] = None,
     finished_ttl: Optional[float] = None,
     max_queue_depth: Optional[int] = None,
+    trace: bool = True,
+    log_json: bool = False,
 ) -> SynthesisServer:
     """Build and start a daemon; the caller owns ``stop()``."""
     server = SynthesisServer(
@@ -292,6 +409,8 @@ def serve(
         job_timeout=job_timeout,
         finished_ttl=finished_ttl,
         max_queue_depth=max_queue_depth,
+        trace=trace,
+        log_json=log_json,
     )
     server.start()
     return server

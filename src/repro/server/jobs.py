@@ -54,6 +54,9 @@ class Job:
         self.error: Optional[str] = None
         self.coalesced = 0
         """How many later identical requests shared this job."""
+        self.trace_id: Optional[str] = None
+        """Root trace id of this job's span tree (``None`` until the
+        job starts executing, or forever when tracing is disarmed)."""
         self.progress: Dict[str, Dict[str, int]] = {}
         """Live per-stage tallies: ``{stage: {computed, memo_hit, disk_hit}}``."""
         self._lock = threading.Lock()
@@ -144,6 +147,7 @@ class Job:
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,
                 "coalesced": self.coalesced,
+                "trace_id": self.trace_id,
                 "progress": {
                     stage: dict(row) for stage, row in self.progress.items()
                 },

@@ -32,7 +32,8 @@ per-stage computed/memo-hit/disk-hit tallies while the job runs.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core import CrossbarSynthesizer, SynthesisConfig
 from repro.core.instrumentation import SOLVE_COUNTER
@@ -44,6 +45,9 @@ from repro.exec.serialize import (
     SynthesisResult,
     result_to_dict,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.jsonlog import JsonLogger
 from repro.pipeline import ArtifactStore, PipelineRunner
 from repro.resilience import fault_summary
 from repro.server.coalesce import RequestCoalescer
@@ -57,6 +61,19 @@ from repro.server.schemas import (
 __all__ = ["SynthesisService", "ServiceOverloaded", "DESIGN_REPORT_FORMAT"]
 
 DESIGN_REPORT_FORMAT = "repro-server-design-v1"
+
+_REQUESTS_TOTAL = _metrics.counter(
+    "repro_requests_total",
+    "Admitted job requests by disposition (new/coalesced/finished/"
+    "cached/shed).",
+    ("disposition",),
+)
+_QUEUE_DEPTH = _metrics.gauge(
+    "repro_queue_depth", "Jobs admitted but not yet picked up by a worker."
+)
+_JOBS_ACTIVE = _metrics.gauge(
+    "repro_jobs_active", "Jobs currently executing on a worker thread."
+)
 
 
 class ServiceOverloaded(RuntimeError):
@@ -103,6 +120,16 @@ class SynthesisService:
         (503 at the HTTP layer). Coalesced/finished/cached requests
         are never shed -- they cost no queue slot. ``None`` disables
         shedding.
+    trace:
+        Arm span tracing for the service's lifetime (the default): each
+        executed job gets its own trace tree, retrievable via
+        :meth:`job_trace` (``GET /v1/jobs/<id>/trace``). When tracing
+        was already armed by the caller, the service joins it and
+        leaves disarming to whoever armed it.
+    log:
+        An optional :class:`~repro.obs.jsonlog.JsonLogger`; when given,
+        one JSON object per admission and job transition goes to
+        stderr (the ``repro serve --log-json`` mode).
     """
 
     def __init__(
@@ -113,9 +140,16 @@ class SynthesisService:
         job_timeout: Optional[float] = None,
         finished_ttl: Optional[float] = None,
         max_queue_depth: Optional[int] = None,
+        trace: bool = True,
+        log: Optional[JsonLogger] = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1 or None")
+        self.log = log
+        self._armed_tracing = False
+        if trace and not _tracing.tracing_enabled():
+            _tracing.arm_tracing()
+            self._armed_tracing = True
         self.engine = ExecutionEngine(jobs=engine_jobs, cache=cache_dir)
         self.coalescer = RequestCoalescer(finished_ttl=finished_ttl)
         self.queue = JobQueue(
@@ -133,6 +167,10 @@ class SynthesisService:
         # signal -- in-process solves are the coalescable ones).
         self._solve_observer = self._on_solve
         SOLVE_COUNTER.subscribe(self._solve_observer)
+        # Queue gauges are callback-backed: sampled at scrape time, so
+        # they are always current and cost nothing between scrapes.
+        _QUEUE_DEPTH.set_function(self.queue.depth)
+        _JOBS_ACTIVE.set_function(self.queue.active)
 
     def _on_solve(self, kind: str) -> None:
         with self._stats_lock:
@@ -145,6 +183,11 @@ class SynthesisService:
             SOLVE_COUNTER.unsubscribe(self._solve_observer)
         except ValueError:  # pragma: no cover - already detached
             pass
+        _QUEUE_DEPTH.set_function(None)
+        _JOBS_ACTIVE.set_function(None)
+        if self._armed_tracing:
+            _tracing.disarm_tracing()
+            self._armed_tracing = False
 
     # -- admission ----------------------------------------------------
 
@@ -172,15 +215,27 @@ class SynthesisService:
             lambda: self._admit_new(request, fingerprint),
         )
         if disposition != "new":
+            self._record_admission(fingerprint, disposition)
             return job, disposition
         warm = self._warm_lookup(request)
         if warm is not None:
             with self._stats_lock:
                 self._cached_hits += 1
             job.mark_done(warm)
+            self._record_admission(fingerprint, "cached")
             return job, "cached"
         self.queue.submit(job)
+        self._record_admission(fingerprint, "new")
         return job, "new"
+
+    def _record_admission(self, fingerprint: str, disposition: str) -> None:
+        _REQUESTS_TOTAL.inc(disposition=disposition)
+        if self.log is not None:
+            self.log.emit(
+                "request.admitted",
+                fingerprint=fingerprint,
+                disposition=disposition,
+            )
 
     def _admit_new(self, request, fingerprint: str) -> Job:
         """The coalescer's ``create`` callback: shed or index a job."""
@@ -189,6 +244,7 @@ class SynthesisService:
             if depth >= self.max_queue_depth:
                 with self._stats_lock:
                     self._shed += 1
+                self._record_admission(fingerprint, "shed")
                 raise ServiceOverloaded(depth)
         return self.queue.new_job(request, fingerprint)
 
@@ -234,13 +290,52 @@ class SynthesisService:
 
     def _execute(self, job: Job) -> Dict[str, Any]:
         request = job.request
-        if isinstance(request, DesignRequest):
-            return self._run_design(job, request)
-        if isinstance(request, SuiteRequest):
-            return self._run_suite(job, request)
-        raise TypeError(
-            f"no executor for request type {type(request).__name__}"
-        )  # pragma: no cover - parse layer admits only known kinds
+        began = time.perf_counter()
+        if self.log is not None:
+            self.log.emit(
+                "job.started",
+                job=job.id,
+                kind=request.kind,
+                fingerprint=job.fingerprint,
+            )
+        try:
+            with _tracing.root_span(
+                f"job.{request.kind}",
+                job=job.id,
+                fingerprint=job.fingerprint[:12],
+            ) as root:
+                # Published immediately, not on completion: pollers of a
+                # running job can already follow its partial trace.
+                job.trace_id = root.trace_id or None
+                if isinstance(request, DesignRequest):
+                    result = self._run_design(job, request)
+                elif isinstance(request, SuiteRequest):
+                    result = self._run_suite(job, request)
+                else:  # pragma: no cover - parser admits only known kinds
+                    raise TypeError(
+                        f"no executor for request type "
+                        f"{type(request).__name__}"
+                    )
+        except Exception as error:
+            if self.log is not None:
+                self.log.emit(
+                    "job.finished",
+                    job=job.id,
+                    state="failed",
+                    error=f"{type(error).__name__}: {error}",
+                    duration_s=round(time.perf_counter() - began, 6),
+                    trace_id=job.trace_id,
+                )
+            raise
+        if self.log is not None:
+            self.log.emit(
+                "job.finished",
+                job=job.id,
+                state="done",
+                duration_s=round(time.perf_counter() - began, 6),
+                trace_id=job.trace_id,
+            )
+        return result
 
     def _job_runner(self) -> PipelineRunner:
         """A job-scoped stage runner persisting through the shared
@@ -337,6 +432,26 @@ class SynthesisService:
 
     # -- observability ------------------------------------------------
 
+    def job_trace(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The span tree of one job (``GET /v1/jobs/<id>/trace``).
+
+        ``None`` for unknown jobs. A known job whose tracing was
+        disarmed (or that has not started) answers with an empty span
+        list rather than a 404 -- the job exists, it just has no trace.
+        Worker-process spans are merged in from the spool directory, so
+        a finished pool job's tree includes its child-process solves.
+        """
+        job = self.queue.get(job_id)
+        if job is None:
+            return None
+        spans: List[Dict[str, Any]] = []
+        if job.trace_id is not None:
+            spans = [
+                span.to_dict()
+                for span in _tracing.collect_spans(trace_id=job.trace_id)
+            ]
+        return {"job": job.id, "trace_id": job.trace_id, "spans": spans}
+
     def degraded_reasons(self) -> list:
         """Why the service considers itself degraded (empty = healthy).
 
@@ -396,26 +511,33 @@ class SynthesisService:
             },
             "engine": self.engine.stats.snapshot(),
             "faults": fault_summary(),
-            "solves": {
-                "in_process": self._solves,
-                "feasibility": SOLVE_COUNTER.feasibility,
-                "binding": SOLVE_COUNTER.binding,
-            },
+        }
+        # Atomic snapshots, not field-by-field reads: the old code read
+        # ``SOLVE_COUNTER.feasibility`` and ``.binding`` (and the cache
+        # stat fields below) as separate unlocked attribute reads, so a
+        # concurrent solve could make the two numbers disagree with
+        # each other and with their total. One locked cut per source.
+        solves = SOLVE_COUNTER.snapshot()
+        payload["solves"] = {
+            "feasibility": solves["feasibility"],
+            "binding": solves["binding"],
         }
         with self._stats_lock:
+            payload["solves"]["in_process"] = self._solves
             payload["coalescing"]["cached_hits"] = self._cached_hits
             payload["shedding"]["shed"] = self._shed
         cache = self.engine.cache
         if cache is not None:
             usage = cache.usage()
+            cache_stats = cache.stats_snapshot()
             payload["cache"] = {
                 "dir": str(cache.cache_dir),
                 "entries": usage.entries,
                 "total_bytes": usage.total_bytes,
-                "hits": cache.stats.hits,
-                "misses": cache.stats.misses,
-                "stores": cache.stats.stores,
-                "write_errors": cache.stats.write_errors,
+                "hits": cache_stats["hits"],
+                "misses": cache_stats["misses"],
+                "stores": cache_stats["stores"],
+                "write_errors": cache_stats["write_errors"],
             }
         else:
             payload["cache"] = None

@@ -1,0 +1,133 @@
+"""Span export formats: JSONL round trip, Chrome trace events, tree."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    format_span_tree,
+    load_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.jsonlog import JsonLogger
+from repro.obs.tracing import Span
+
+
+def make_span(name, span_id, parent_id=None, t_start=1.0, **attrs):
+    return Span(
+        name=name,
+        trace_id="trace01",
+        span_id=span_id,
+        parent_id=parent_id,
+        t_start=t_start,
+        wall_s=0.5,
+        cpu_s=0.25,
+        pid=1234,
+        tid=1,
+        attrs=attrs,
+    )
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        spans = [
+            make_span("root", "a"),
+            make_span("child", "b", parent_id="a", t_start=1.1, k="v"),
+        ]
+        path = str(tmp_path / "spans.jsonl")
+        assert write_jsonl(spans, path) == 2
+        loaded = load_jsonl(path)
+        assert [s.name for s in loaded] == ["root", "child"]
+        assert loaded[1].parent_id == "a"
+        assert loaded[1].attrs == {"k": "v"}
+
+    def test_corrupt_export_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "a span"}\n')
+        with pytest.raises((KeyError, TypeError)):
+            load_jsonl(str(path))
+
+
+class TestChromeTrace:
+    def test_event_shape(self):
+        document = to_chrome_trace(
+            [make_span("root", "a"), make_span("child", "b", parent_id="a")]
+        )
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["pid"] == 1234
+            assert event["dur"] == pytest.approx(0.5e6)
+            assert event["args"]["trace_id"] == "trace01"
+        child = next(e for e in events if e["name"] == "child")
+        assert child["args"]["parent_id"] == "a"
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "chrome.json")
+        count = write_chrome_trace([make_span("root", "a")], path)
+        assert count == 1
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["traceEvents"][0]["name"] == "root"
+
+
+class TestSpanTree:
+    def test_children_indent_under_parents(self):
+        text = format_span_tree(
+            [
+                make_span("root", "a"),
+                make_span("child", "b", parent_id="a", t_start=1.1),
+                make_span("grandchild", "c", parent_id="b", t_start=1.2),
+            ]
+        )
+        lines = text.splitlines()
+        root_line = next(line for line in lines if "root" in line)
+        child_line = next(line for line in lines if "child" in line)
+        grand_line = next(line for line in lines if "grandchild" in line)
+        assert root_line.index("root") < child_line.index("child")
+        assert child_line.index("child") < grand_line.index("grandchild")
+
+    def test_missing_parent_renders_as_root(self):
+        text = format_span_tree(
+            [make_span("orphan", "z", parent_id="gone")]
+        )
+        assert "orphan" in text
+
+    def test_empty_input(self):
+        assert format_span_tree([]) == "(no spans)"
+
+    def test_trace_id_filter(self):
+        other = make_span("other", "q")
+        other = Span(**{**other.to_dict(), "trace_id": "different"})
+        text = format_span_tree(
+            [make_span("mine", "a"), other], trace_id="trace01"
+        )
+        assert "mine" in text
+        assert "other" not in text
+
+
+class TestJsonLogger:
+    def test_emits_one_sorted_json_object_per_line(self):
+        import io
+
+        stream = io.StringIO()
+        log = JsonLogger(stream=stream)
+        log.emit("job.started", job="job-1", kind="design")
+        log.emit("job.finished", job="job-1", state="done")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "job.started"
+        assert first["job"] == "job-1"
+        assert "ts" in first
+
+    def test_unserializable_fields_fall_back(self):
+        import io
+
+        stream = io.StringIO()
+        JsonLogger(stream=stream).emit("weird", payload=object())
+        assert json.loads(stream.getvalue())["event"] == "weird"

@@ -1,0 +1,213 @@
+"""Span tracer semantics and cross-process trace propagation.
+
+The acceptance property of the observability PR lives here: a traced
+pool sweep yields ONE span tree -- every worker-process span reaches
+the in-process root through parent links, even when the pool is killed
+and rebuilt mid-job -- and arming tracing never perturbs the
+byte-identical chaos guarantees the resilience suite established.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.apps.synthetic import synthetic_trace
+from repro.core import SynthesisConfig
+from repro.exec import ExecutionEngine, SynthesisTask, result_to_dict
+from repro.obs import tracing
+from repro.resilience import FaultPlan, FaultRule, install_plan
+
+CONFIG = SynthesisConfig(max_targets_per_bus=None)
+WINDOWS = [150, 2_400]
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return synthetic_trace(
+        burst_cycles=300, total_cycles=12_000, num_initiators=5,
+        num_targets=5, seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return [SynthesisTask(config=CONFIG, window_size=w) for w in WINDOWS]
+
+
+def sweep_bytes(results):
+    return json.dumps(
+        [result_to_dict(r) for r in results], sort_keys=True
+    ).encode()
+
+
+def assert_single_tree(spans):
+    """Every span reaches exactly one root via parent links."""
+    by_id = {s.span_id: s for s in spans}
+    roots = [s for s in spans if s.parent_id is None]
+    assert len(roots) == 1
+    root = roots[0]
+    for span in spans:
+        current = span
+        hops = 0
+        while current.parent_id is not None:
+            assert current.parent_id in by_id, (
+                f"span {current.name} has a dangling parent"
+            )
+            current = by_id[current.parent_id]
+            hops += 1
+            assert hops < 100
+        assert current is root
+        assert span.trace_id == root.trace_id
+    return root
+
+
+class TestDisabled:
+    def test_span_is_shared_null_object(self):
+        first = tracing.span("anything", attr=1)
+        second = tracing.span("other")
+        assert first is second  # zero allocation on the disabled path
+        with first as active:
+            assert active.trace_id == ""
+            active.set_attr(extra=2)  # no-op, must not raise
+        assert tracing.collect_spans() == []
+        assert not tracing.tracing_enabled()
+
+    def test_current_span_is_none(self):
+        assert tracing.current_span() is None
+        with tracing.span("x"):
+            assert tracing.current_span() is None
+
+
+class TestArmed:
+    def test_parent_child_links_and_attrs(self):
+        tracing.arm_tracing()
+        with tracing.root_span("outer", job="j1") as outer:
+            with tracing.span("inner") as inner:
+                inner.set_attr(detail="yes")
+                assert tracing.current_span() is inner
+        spans = {s.name: s for s in tracing.collect_spans()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].trace_id == spans["outer"].trace_id
+        assert spans["outer"].parent_id is None
+        assert spans["outer"].attrs["job"] == "j1"
+        assert spans["inner"].attrs["detail"] == "yes"
+        assert spans["inner"].wall_s >= 0
+        assert outer.trace_id == spans["outer"].trace_id
+
+    def test_exception_recorded_and_propagated(self):
+        tracing.arm_tracing()
+        with pytest.raises(RuntimeError):
+            with tracing.span("failing"):
+                raise RuntimeError("boom")
+        (span,) = tracing.collect_spans()
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_collect_filters_by_trace_id(self):
+        tracing.arm_tracing()
+        with tracing.root_span("first") as a:
+            pass
+        with tracing.root_span("second"):
+            pass
+        only = tracing.collect_spans(trace_id=a.trace_id)
+        assert [s.name for s in only] == ["first"]
+
+    def test_clear_spans(self):
+        tracing.arm_tracing()
+        with tracing.span("x"):
+            pass
+        tracing.clear_spans()
+        assert tracing.collect_spans() == []
+
+    def test_disarm_removes_spool_and_env(self):
+        tracing.arm_tracing()
+        spool = tracing.spool_directory()
+        assert spool is not None and os.path.isdir(spool)
+        # The env var is exported only around pool fan-out; after a
+        # fan-out block it is restored, and disarm must drop any leak.
+        with tracing.propagate_context():
+            assert tracing.TRACE_ENV_VAR in os.environ
+        tracing.disarm_tracing()
+        assert tracing.TRACE_ENV_VAR not in os.environ
+        assert not os.path.isdir(spool)
+        assert not tracing.tracing_enabled()
+
+
+class TestCrossProcess:
+    def test_pool_sweep_produces_one_tree_spanning_processes(
+        self, small_trace, tasks
+    ):
+        tracing.arm_tracing()
+        engine = ExecutionEngine(jobs=2)
+        with tracing.root_span("job.test"):
+            engine.run_sweep(small_trace, tasks)
+        spans = tracing.collect_spans()
+        root = assert_single_tree(spans)
+        assert root.name == "job.test"
+        worker_spans = [s for s in spans if s.name == "worker.solve"]
+        assert len(worker_spans) == len(tasks)
+        assert {s.pid for s in worker_spans} - {os.getpid()}, (
+            "worker spans must come from pool child processes"
+        )
+        # The in-process stages are in the same tree.
+        names = {s.name for s in spans}
+        assert "engine.sweep" in names
+        assert "engine.pool_map" in names
+
+    def test_trace_survives_pool_rebuild_mid_job(self, small_trace, tasks):
+        """Workers crash on every first attempt -> the engine rebuilds
+        the pool mid-job; retried attempts still join the same trace."""
+        install_plan(
+            FaultPlan(
+                seed=1,
+                rules={"worker.crash": FaultRule(rate=1.0, match=("*:a0",))},
+            )
+        )
+        tracing.arm_tracing()
+        engine = ExecutionEngine(jobs=2)
+        with tracing.root_span("job.chaos"):
+            engine.run_sweep(small_trace, tasks)
+        assert engine.stats.snapshot()["pool_rebuilds"] == 1
+        spans = tracing.collect_spans()
+        root = assert_single_tree(spans)
+        assert root.name == "job.chaos"
+        retried = [
+            s for s in spans
+            if s.name == "worker.solve" and s.attrs.get("attempt", 0) >= 1
+        ]
+        assert retried, "post-rebuild worker spans must appear in the tree"
+
+
+class TestChaosByteIdenticalWithTracing:
+    def test_faulty_sweep_bytes_unchanged_by_tracing(
+        self, small_trace, tasks
+    ):
+        """The determinism-safety contract: arming tracing on top of a
+        fault-injected run changes NOTHING about the results."""
+        from repro.resilience import clear_plan
+
+        clear_plan()
+        baseline = sweep_bytes(
+            ExecutionEngine(jobs=1).run_sweep(small_trace, tasks)
+        )
+
+        def chaos_sweep():
+            install_plan(
+                FaultPlan(
+                    seed=1,
+                    rules={
+                        "worker.crash": FaultRule(rate=1.0, match=("*:a0",))
+                    },
+                )
+            )
+            engine = ExecutionEngine(jobs=2)
+            return sweep_bytes(engine.run_sweep(small_trace, tasks))
+
+        untraced = chaos_sweep()
+        clear_plan()
+        tracing.arm_tracing()
+        with tracing.root_span("job.chaos"):
+            traced = chaos_sweep()
+        assert untraced == baseline
+        assert traced == baseline
+        assert tracing.collect_spans(), "tracing was armed and recording"

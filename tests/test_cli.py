@@ -265,3 +265,61 @@ class TestScenarioPipelineFlags:
         assert main(["scenarios", "run", "apps", "--replay-latency"]) == 0
         out = capsys.readouterr().out
         assert "avg lat (cy)" in out
+
+
+class TestObservabilityFlags:
+    def test_trace_capture_writes_span_jsonl(self, tmp_path, capsys):
+        from repro.obs import tracing
+        from repro.obs.export import load_jsonl
+
+        out_path = tmp_path / "spans.jsonl"
+        assert main(["design", "qsort", "--trace", str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        spans = load_jsonl(str(out_path))
+        names = {span.name for span in spans}
+        assert "cli.design" in names
+        assert "pipeline.bind" in names
+        # The capture disarms on exit: no leaked global tracing state.
+        assert not tracing.tracing_enabled()
+
+    def test_trace_span_mode_renders_tree(self, tmp_path, capsys):
+        out_path = tmp_path / "spans.jsonl"
+        assert main(["design", "qsort", "--trace", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.design" in out
+        assert "wall ms" in out
+
+    def test_trace_span_mode_exports_chrome(self, tmp_path, capsys):
+        import json
+
+        spans_path = tmp_path / "spans.jsonl"
+        chrome_path = tmp_path / "chrome.json"
+        assert main(["design", "qsort", "--trace", str(spans_path)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", str(spans_path), "--export-chrome", str(chrome_path)]
+        ) == 0
+        assert "Chrome trace events" in capsys.readouterr().out
+        document = json.loads(chrome_path.read_text())
+        assert document["traceEvents"]
+        assert all(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_trace_app_mode_still_requires_output(self, capsys):
+        assert main(["trace", "qsort"]) == 1
+        assert "required" in capsys.readouterr().err
+
+    def test_profile_includes_pipeline_stage_table(self, capsys):
+        assert main(["design", "qsort", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "pipeline stages (this run)" in out
+        assert "bind" in out
+
+    def test_serve_parser_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--log-json", "--no-trace"]
+        )
+        assert args.log_json is True
+        assert args.no_trace is True

@@ -102,6 +102,14 @@ def _stage_seconds_snapshot():
     }
 
 
+def _counter_snapshot(name):
+    """``{label_tuple: value}`` for a labelled counter family."""
+    counter = _metrics.REGISTRY.get(name)
+    if counter is None:
+        return {}
+    return dict(counter.collect())
+
+
 class _PhaseProfile:
     """Collects and prints the per-phase breakdown around one command.
 
@@ -122,6 +130,8 @@ class _PhaseProfile:
         if enabled:
             PHASE_TIMER.reset()
             self._stages_begin = _stage_seconds_snapshot()
+            self._solves_begin = _counter_snapshot("repro_solves_total")
+            self._races_begin = _counter_snapshot("repro_race_wins_total")
         self._begin = time.perf_counter()
 
     def report(self) -> None:
@@ -149,6 +159,29 @@ class _PhaseProfile:
                     ["stage", "computed", "total ms"],
                     rows,
                     title="pipeline stages (this run)",
+                )
+            )
+        solve_rows = []
+        for key, value in sorted(
+            _counter_snapshot("repro_solves_total").items()
+        ):
+            delta = value - self._solves_begin.get(key, 0)
+            if delta:
+                kind, backend = key
+                solve_rows.append([kind, backend, int(delta)])
+        for key, value in sorted(
+            _counter_snapshot("repro_race_wins_total").items()
+        ):
+            delta = value - self._races_begin.get(key, 0)
+            if delta:
+                solve_rows.append(["race win", key[0], int(delta)])
+        if solve_rows:
+            print()
+            print(
+                format_table(
+                    ["solve", "backend", "count"],
+                    solve_rows,
+                    title="solver backends (this run)",
                 )
             )
         if self.jobs > 1 and not PHASE_TIMER.totals:
@@ -188,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument(
         "--backend", choices=("assignment", "milp"), default="assignment",
         help="feasibility/binding solver backend",
+    )
+    design.add_argument(
+        "--milp-backend", choices=("reference", "highs", "portfolio"),
+        default=None,
+        help="MILP solver tier for --backend milp (default: "
+        "$REPRO_MILP_BACKEND, else the pure-Python reference solver)",
     )
     design.add_argument(
         "--validate", action="store_true",
@@ -328,6 +367,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="feasibility/binding solver backend",
     )
     inspect.add_argument(
+        "--milp-backend", choices=("reference", "highs", "portfolio"),
+        default=None,
+        help="MILP solver tier for --backend milp (default: "
+        "$REPRO_MILP_BACKEND, else the pure-Python reference solver)",
+    )
+    inspect.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist serializable stage artifacts here; a repeated "
         "inspect reuses the solved binding stages",
@@ -441,6 +486,7 @@ def _config_from_args(args) -> SynthesisConfig:
         overlap_threshold=args.threshold,
         max_targets_per_bus=args.maxtb or None,
         backend=args.backend,
+        milp_backend=getattr(args, "milp_backend", None),
     )
 
 

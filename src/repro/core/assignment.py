@@ -68,6 +68,7 @@ def solve_assignment(
     optimize: bool = False,
     node_limit: int = 2_000_000,
     rng: Optional[random.Random] = None,
+    overlap_budget: Optional[int] = None,
 ) -> AssignmentResult:
     """Find a feasible (or overlap-optimal) binding into ``num_buses``.
 
@@ -76,6 +77,14 @@ def solve_assignment(
     binding (the paper's MILP1 feasibility check). Passing ``rng``
     randomizes placement order and bus choice, producing the *random
     feasible binding* baseline of Sec. 7.3.
+
+    ``overlap_budget`` bounds the maximum per-bus summed overlap of any
+    returned binding: placements that would exceed it are pruned, and
+    candidate buses are tried in increasing overlap-delta order so the
+    search is deterministic. Feasibility mode with the budget set to a
+    known optimal objective therefore returns one *canonical* optimal
+    binding -- the device :mod:`repro.core.binding` uses to keep reports
+    byte-identical no matter which MILP backend proved the objective.
     """
     num_targets = problem.num_targets
     if num_buses < 1:
@@ -133,7 +142,7 @@ def solve_assignment(
         candidates = list(range(min(used + 1, num_buses)))
         if rng is not None:
             rng.shuffle(candidates)
-        elif optimize:
+        elif optimize or overlap_budget is not None:
             candidates.sort(
                 key=lambda b: sum(overlap[target, u] for u in bus_members[b])
             )
@@ -147,6 +156,8 @@ def solve_assignment(
             delta = int(sum(overlap[target, u] for u in bus_members[bus]))
             new_bus_overlap = bus_overlap[bus] + delta
             new_max = max(current_max, new_bus_overlap)
+            if overlap_budget is not None and new_max > overlap_budget:
+                continue
             if (
                 optimize
                 and best_objective is not None

@@ -25,8 +25,8 @@ to cross-validate the specialized solver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.preprocess import ConflictAnalysis
 from repro.core.problem import CrossbarDesignProblem
@@ -42,6 +42,39 @@ class CrossbarModel:
     model: Model
     x: List[List[Variable]]  # x[i][k]: target i on bus k
     maxov: Optional[Variable] = None
+    sb: Dict[Tuple[int, int, int], Variable] = field(default_factory=dict)
+
+    def warm_values(
+        self,
+        binding: Optional[Sequence[int]],
+        objective: Optional[float] = None,
+    ) -> Optional[Dict[Variable, float]]:
+        """Translate a cached binding into a warm-start hint.
+
+        Returns a full variable assignment (one-hot ``x``, consistent
+        ``sb`` products, ``maxov`` at ``objective``) or ``None`` when
+        the binding cannot possibly fit this model (wrong target count,
+        bus index out of range, or a binding model with no objective in
+        hand). The hint is *advisory*: the solver re-validates it
+        against all constraints, so a stale binding that no longer
+        satisfies e.g. the conflict rows is simply discarded there.
+        """
+        if binding is None or len(binding) != len(self.x):
+            return None
+        num_buses = len(self.x[0]) if self.x else 0
+        if any(bus < 0 or bus >= num_buses for bus in binding):
+            return None
+        if self.maxov is not None and objective is None:
+            return None
+        values: Dict[Variable, float] = {}
+        for i, row in enumerate(self.x):
+            for k, var in enumerate(row):
+                values[var] = 1.0 if binding[i] == k else 0.0
+        for (i, j, k), var in self.sb.items():
+            values[var] = 1.0 if binding[i] == k == binding[j] else 0.0
+        if self.maxov is not None:
+            values[self.maxov] = float(objective)
+        return values
 
     def extract_binding(self, solution) -> Tuple[int, ...]:
         """Read the target->bus assignment out of a MILP solution."""
@@ -112,6 +145,7 @@ def _build_common(
             )
 
     maxov = None
+    sb: Dict[Tuple[int, int, int], Variable] = {}
     overlap = problem.overlap_matrix
     interesting_pairs = [
         (i, j)
@@ -122,7 +156,6 @@ def _build_common(
 
     if with_sharing and interesting_pairs:
         # Definition 4 / Eqs. 5-6: sharing variables and linearization.
-        sb: Dict[Tuple[int, int, int], Variable] = {}
         for (i, j) in interesting_pairs:
             for k in range(num_buses):
                 var = model.binary_var(f"sb_{i}_{j}_{k}")
@@ -159,7 +192,7 @@ def _build_common(
                     x[i][k] + x[j][k] <= 1, name=f"conflict[{i},{j},{k}]"
                 )
 
-    return CrossbarModel(model=model, x=x, maxov=maxov)
+    return CrossbarModel(model=model, x=x, maxov=maxov, sb=sb)
 
 
 def build_feasibility_model(

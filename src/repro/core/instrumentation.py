@@ -37,8 +37,9 @@ __all__ = [
 
 _SOLVES_TOTAL = _metrics.counter(
     "repro_solves_total",
-    "Solver invocations by kind (feasibility probe / binding MILP).",
-    ("kind",),
+    "Solver invocations by kind (feasibility probe / binding MILP) "
+    "and solver backend.",
+    ("kind", "backend"),
 )
 
 
@@ -60,6 +61,7 @@ class SolveCounter:
     def __init__(self) -> None:
         self.feasibility = 0
         self.binding = 0
+        self.by_backend: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._observers: List[Callable[[str], None]] = []
 
@@ -75,14 +77,16 @@ class SolveCounter:
         with self._lock:
             self.feasibility = 0
             self.binding = 0
+            self.by_backend.clear()
 
-    def snapshot(self) -> Dict[str, int]:
-        """Both counters in one consistent read."""
+    def snapshot(self) -> Dict[str, object]:
+        """Both counters (plus the per-backend split) in one read."""
         with self._lock:
             return {
                 "feasibility": self.feasibility,
                 "binding": self.binding,
                 "total": self.feasibility + self.binding,
+                "by_backend": dict(self.by_backend),
             }
 
     def subscribe(self, observer: Callable[[str], None]) -> None:
@@ -93,8 +97,13 @@ class SolveCounter:
         """Remove a previously subscribed observer."""
         self._observers.remove(observer)
 
-    def record(self, kind: str) -> None:
-        """Record one solver invocation of ``kind``."""
+    def record(self, kind: str, backend: str = "assignment") -> None:
+        """Record one solver invocation of ``kind`` on ``backend``.
+
+        ``backend`` names the solver tier that ran: ``"assignment"``
+        (the specialized solver, default) or a MILP backend
+        (``reference`` / ``highs`` / ``portfolio``).
+        """
         if kind not in ("feasibility", "binding"):
             raise ValueError(f"unknown solve kind {kind!r}")
         with self._lock:
@@ -102,7 +111,8 @@ class SolveCounter:
                 self.feasibility += 1
             else:
                 self.binding += 1
-        _SOLVES_TOTAL.inc(kind=kind)
+            self.by_backend[backend] = self.by_backend.get(backend, 0) + 1
+        _SOLVES_TOTAL.inc(kind=kind, backend=backend)
         # Observers run outside the lock: they may be arbitrary user
         # code (progress feeds) and must not serialize solver threads.
         for observer in self._observers:
@@ -113,6 +123,10 @@ SOLVE_COUNTER = SolveCounter()
 """The process-global counter the solver entry points report to."""
 
 
-def record_solve(kind: str, counter: Optional[SolveCounter] = None) -> None:
+def record_solve(
+    kind: str,
+    backend: str = "assignment",
+    counter: Optional[SolveCounter] = None,
+) -> None:
     """Report one solver invocation (module-level convenience hook)."""
-    (counter or SOLVE_COUNTER).record(kind)
+    (counter or SOLVE_COUNTER).record(kind, backend=backend)

@@ -35,6 +35,15 @@ class SynthesisConfig:
         :mod:`repro.milp`).
     lp_engine:
         LP relaxation engine for the MILP backend.
+    milp_backend:
+        MILP solver tier used when ``backend="milp"``: ``"reference"``
+        (pure-Python branch and bound, the correctness oracle),
+        ``"highs"`` (native HiGHS MIP via scipy), ``"portfolio"``
+        (both raced, first proof wins), or ``None`` to resolve
+        ``REPRO_MILP_BACKEND`` at solve time. All tiers are exact, so
+        the choice never changes reported designs -- only how fast
+        they arrive (it is deliberately excluded from pipeline stage
+        fingerprints for the same reason).
     use_criticality:
         Whether overlapping real-time streams force conflicts.
     node_limit:
@@ -59,6 +68,7 @@ class SynthesisConfig:
     node_limit: int = 2_000_000
     variable_windows: bool = False
     variable_window_ratio: int = 5
+    milp_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.window_size is not None and self.window_size < 1:
@@ -73,6 +83,13 @@ class SynthesisConfig:
         if self.backend not in ("assignment", "milp"):
             raise ConfigurationError(
                 f"backend must be 'assignment' or 'milp', got {self.backend!r}"
+            )
+        if self.milp_backend is not None and self.milp_backend not in (
+            "reference", "highs", "portfolio",
+        ):
+            raise ConfigurationError(
+                "milp_backend must be 'reference', 'highs', 'portfolio' "
+                f"or None, got {self.milp_backend!r}"
             )
         if self.node_limit < 1:
             raise ConfigurationError("node_limit must be positive")

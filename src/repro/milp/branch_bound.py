@@ -1,28 +1,55 @@
-"""Branch-and-bound MILP solver.
+"""Branch-and-bound MILP solver and the MILP backend dispatch.
 
-Classic LP-relaxation branch and bound with:
+:func:`solve_milp` is the single entry point for every MILP in the
+platform; which engine actually runs is a :class:`BranchBoundOptions`
+knob (or the ``REPRO_MILP_BACKEND`` environment variable):
 
-* best-first node selection (by relaxation bound, FIFO among ties),
-* most-fractional branching,
-* incumbent-based pruning with absolute gap tolerance,
-* optional *feasibility mode* (stop at the first integral solution),
-  matching the paper's MILP1, which has no objective function,
-* pluggable LP engine (built-in simplex or scipy HiGHS).
+``reference``
+    The pure-Python branch and bound implemented in this module --
+    classic LP-relaxation search with best-first node selection (by
+    relaxation bound, FIFO among ties), most-fractional branching,
+    incumbent-based pruning with absolute gap tolerance, and an
+    optional *feasibility mode* (stop at the first integral solution)
+    matching the paper's MILP1, which has no objective function. This
+    is the correctness oracle the other backends are gated against.
+``highs``
+    :mod:`repro.milp.highs_backend` -- the whole model handed to
+    HiGHS native branch and bound via ``scipy.optimize.milp``.
+``portfolio``
+    :mod:`repro.milp.portfolio` -- reference and HiGHS raced in
+    parallel processes, first proven answer wins.
 
-The solver is exact; node and iteration limits exist only as safety
-rails and are reported through the solution status when hit. A
+All backends are exact, so they agree on feasibility verdicts and
+optimal objective values; they need *not* agree on which optimal point
+they return when the optimum is degenerate. Callers that must be
+byte-identical across backends (reports, artifacts) re-derive a
+canonical solution from the objective value -- see
+:mod:`repro.core.binding`.
+
+The reference solver is exact; node and iteration limits exist only as
+safety rails and are reported through the solution status when hit. A
 wall-clock deadline (``time_limit``) is the graceful-degradation rail:
 when it expires the solver returns the best incumbent found so far
 flagged ``timed_out`` instead of running unboundedly -- and with no
 deadline set, the search path (node order, pruning, branching) is
 bit-for-bit identical to a solver without the feature, a property the
 equivalence gate in ``tests/resilience`` enforces.
+
+Warm starts: ``solve_milp`` accepts an optional ``warm_values`` hint (a
+variable -> value mapping, typically rebuilt from a cached binding).
+Hints are *advisory*: each backend validates the hint against the
+current model (:meth:`~repro.milp.model.StandardForm.check_point`) and
+silently ignores anything stale or infeasible. A valid hint seeds the
+reference solver's incumbent (pruning the tree above it) and bounds the
+HiGHS solve through an objective cutoff; in feasibility mode it short-
+circuits the solve outright.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -30,16 +57,26 @@ from typing import Any, Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import SolverError
-from repro.milp.model import Model
+from repro.milp.expr import Variable
+from repro.milp.model import Model, StandardForm
 from repro.milp.simplex import LPStatus, SimplexResult, solve_lp_simplex
-from repro.milp.solution import Solution, SolveStatus
+from repro.milp.solution import Solution, SolveStatus, solution_from_vector
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.resilience import maybe_slow_solver
 
-__all__ = ["BranchBoundOptions", "solve_milp"]
+__all__ = [
+    "MILP_BACKENDS",
+    "BranchBoundOptions",
+    "solve_milp",
+    "resolve_default_backend",
+]
 
 LPEngine = Callable[..., SimplexResult]
+
+MILP_BACKENDS = ("reference", "highs", "portfolio")
+
+_BACKEND_ENV = "REPRO_MILP_BACKEND"
 
 _INT_TOL = 1e-6
 
@@ -51,7 +88,10 @@ _perf_counter = time.perf_counter
 # Solver observability: accumulated locally during the search and
 # recorded ONCE per solve -- never per node, whose count is the one
 # thing that must stay cheap. The LP-time histogram is what makes the
-# ROADMAP's HiGHS-vs-simplex comparison measurable.
+# ROADMAP's HiGHS-vs-simplex comparison measurable; its ``backend``
+# label is what makes the portfolio race observable. Node counts stay
+# unlabelled: the warm-start benchmark diffs the single family total
+# across solves, and every backend reports into it.
 _SOLVER_NODES = _metrics.counter(
     "repro_solver_nodes_total",
     "Branch-and-bound nodes explored across all solves.",
@@ -63,7 +103,24 @@ _SOLVER_INCUMBENTS = _metrics.counter(
 _SOLVER_LP_SECONDS = _metrics.histogram(
     "repro_solver_lp_seconds",
     "Total LP-relaxation wall-clock seconds per MILP solve.",
+    ("backend",),
 )
+
+
+def resolve_default_backend() -> str:
+    """The MILP backend used when options name none.
+
+    Read from ``REPRO_MILP_BACKEND`` at solve time (not import time, so
+    tests and CI matrix steps can flip it per process); defaults to the
+    pure-Python reference solver.
+    """
+    backend = os.environ.get(_BACKEND_ENV, "").strip() or "reference"
+    if backend not in MILP_BACKENDS:
+        raise SolverError(
+            f"unknown MILP backend {backend!r} (from ${_BACKEND_ENV}); "
+            f"expected one of {MILP_BACKENDS}"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -73,7 +130,13 @@ class BranchBoundOptions:
     Attributes
     ----------
     lp_engine:
-        ``"scipy"`` (default, HiGHS) or ``"simplex"`` (pure Python).
+        ``"scipy"`` (default, HiGHS) or ``"simplex"`` (pure Python) --
+        the *node relaxation* engine of the reference solver. Ignored
+        by the ``highs`` backend, which never solves relaxations here.
+    backend:
+        ``"reference"``, ``"highs"``, ``"portfolio"``, or ``None`` to
+        resolve ``REPRO_MILP_BACKEND`` at solve time (defaulting to
+        ``"reference"``).
     node_limit:
         Maximum number of explored nodes before giving up.
     feasibility_only:
@@ -96,6 +159,18 @@ class BranchBoundOptions:
     feasibility_only: bool = False
     absolute_gap: float = 1e-6
     time_limit: Optional[float] = None
+    backend: Optional[str] = None
+
+    def resolve_backend(self) -> str:
+        """The effective MILP backend for this solve."""
+        if self.backend is None:
+            return resolve_default_backend()
+        if self.backend not in MILP_BACKENDS:
+            raise SolverError(
+                f"unknown MILP backend {self.backend!r}; "
+                f"expected one of {MILP_BACKENDS}"
+            )
+        return self.backend
 
     def resolve_engine(self) -> LPEngine:
         """Return the LP relaxation solver callable."""
@@ -107,6 +182,30 @@ class BranchBoundOptions:
             return solve_lp_simplex
         raise SolverError(f"unknown LP engine {self.lp_engine!r}")
 
+    def resolve_node_solver(
+        self, form: StandardForm
+    ) -> Callable[[np.ndarray, np.ndarray], SimplexResult]:
+        """A bounds-only relaxation solver specialized to ``form``.
+
+        Branch and bound re-solves one model with only variable bounds
+        changing between nodes, so the per-model conversion (objective,
+        constraint matrices) is hoisted here and each node passes just
+        its ``(lower, upper)`` arrays.
+        """
+        if self.lp_engine == "scipy":
+            from repro.milp.scipy_backend import make_lp_solver
+
+            return make_lp_solver(form)
+        engine = self.resolve_engine()
+
+        def solve(lower: np.ndarray, upper: np.ndarray) -> SimplexResult:
+            return engine(
+                form.objective, form.a_ub, form.b_ub, form.a_eq, form.b_eq,
+                lower, upper,
+            )
+
+        return solve
+
 
 @dataclass(order=True)
 class _Node:
@@ -115,16 +214,39 @@ class _Node:
     overrides: Dict[int, Tuple[float, float]] = field(compare=False)
 
 
-def solve_milp(model: Model, options: Optional[BranchBoundOptions] = None) -> Solution:
-    """Solve ``model`` to optimality (or first feasible point) by B&B."""
+def solve_milp(
+    model: Model,
+    options: Optional[BranchBoundOptions] = None,
+    warm_values: Optional[Dict[Variable, float]] = None,
+) -> Solution:
+    """Solve ``model`` to optimality (or first feasible point).
+
+    Dispatches to the backend named by ``options`` (see module
+    docstring); ``warm_values`` is an advisory warm-start hint.
+    """
     options = options or BranchBoundOptions()
+    backend = options.resolve_backend()
     accounting = {"lp_s": 0.0, "incumbents": 0}
     with _tracing.span(
         "solver.milp",
         engine=options.lp_engine,
+        backend=backend,
         feasibility_only=options.feasibility_only,
     ) as span_:
-        solution = _solve_impl(model, options, accounting)
+        if backend == "highs":
+            from repro.milp.highs_backend import solve_milp_highs
+
+            begin = _perf_counter()
+            solution = solve_milp_highs(model, options, warm_values)
+            accounting["lp_s"] = _perf_counter() - begin
+        elif backend == "portfolio":
+            from repro.milp.portfolio import race_portfolio
+
+            begin = _perf_counter()
+            solution = race_portfolio(model, options, warm_values)
+            accounting["lp_s"] = _perf_counter() - begin
+        else:
+            solution = _solve_impl(model, options, accounting, warm_values)
         span_.set_attr(
             nodes=solution.nodes,
             status=getattr(solution.status, "name", str(solution.status)),
@@ -132,16 +254,18 @@ def solve_milp(model: Model, options: Optional[BranchBoundOptions] = None) -> So
             lp_ms=round(accounting["lp_s"] * 1e3, 3),
         )
     _SOLVER_NODES.inc(solution.nodes)
-    _SOLVER_LP_SECONDS.observe(accounting["lp_s"])
+    _SOLVER_LP_SECONDS.observe(accounting["lp_s"], backend=backend)
     if accounting["incumbents"]:
         _SOLVER_INCUMBENTS.inc(accounting["incumbents"])
     return solution
 
 
 def _solve_impl(
-    model: Model, options: BranchBoundOptions, accounting: Dict[str, Any]
+    model: Model,
+    options: BranchBoundOptions,
+    accounting: Dict[str, Any],
+    warm_values: Optional[Dict[Variable, float]] = None,
 ) -> Solution:
-    engine = options.resolve_engine()
     deadline = (
         time.monotonic() + options.time_limit
         if options.time_limit is not None
@@ -149,14 +273,31 @@ def _solve_impl(
     )
     form = model.to_standard_form()
     integer_indices = np.nonzero(form.integer_mask)[0]
+    node_solver = options.resolve_node_solver(form)
+
+    # Warm start: a validated hint becomes the initial incumbent, so
+    # every node whose relaxation bound is no better is pruned without
+    # branching. With the hint rejected (stale binding after a suite
+    # edit) the search below is bit-for-bit the cold search.
+    from repro.milp.highs_backend import warm_vector
+
+    warm_x = warm_vector(form, warm_values)
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf
+    if warm_x is not None:
+        incumbent_x = warm_x
+        incumbent_obj = float(form.objective @ warm_x)
+        if options.feasibility_only:
+            return _finish(SolveStatus.OPTIMAL, incumbent_x, incumbent_obj, form, 0)
 
     def relax(overrides: Dict[int, Tuple[float, float]]) -> SimplexResult:
-        sub = model.to_standard_form(bound_overrides=overrides)
+        lower = form.lower.copy()
+        upper = form.upper.copy()
+        for index, (new_lower, new_upper) in overrides.items():
+            lower[index] = max(lower[index], new_lower)
+            upper[index] = min(upper[index], new_upper)
         begin = _perf_counter()
-        result = engine(
-            sub.objective, sub.a_ub, sub.b_ub, sub.a_eq, sub.b_eq,
-            sub.lower, sub.upper,
-        )
+        result = node_solver(lower, upper)
         accounting["lp_s"] += _perf_counter() - begin
         return result
 
@@ -169,8 +310,6 @@ def _solve_impl(
         # unbounded as linprog does.
         return Solution(SolveStatus.UNBOUNDED, nodes=1)
 
-    incumbent_x: Optional[np.ndarray] = None
-    incumbent_obj = math.inf
     heap: list[_Node] = [_Node(root.objective, 0, {})]
     lp_cache: Dict[int, SimplexResult] = {0: root}
     nodes_explored = 0
@@ -265,18 +404,4 @@ def _most_fractional(
 
 
 def _finish(status, x, objective, form, nodes, timed_out: bool = False) -> Solution:
-    if x is None:
-        return Solution(status, nodes=nodes, timed_out=timed_out)
-    values = {}
-    for var, value in zip(form.variables, x):
-        if var.is_integral:
-            values[var] = float(round(value))
-        else:
-            values[var] = float(value)
-    return Solution(
-        status,
-        objective=float(objective),
-        values=values,
-        nodes=nodes,
-        timed_out=timed_out,
-    )
+    return solution_from_vector(status, x, objective, form, nodes, timed_out)

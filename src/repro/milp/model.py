@@ -78,6 +78,28 @@ class StandardForm:
     integer_mask: np.ndarray
     variables: Sequence[Variable]
 
+    def check_point(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Whether ``x`` is a feasible *integral* point of this form.
+
+        This is the gate every warm-start hint passes through before a
+        solver is allowed to use it: hints are advisory, so a stale
+        binding that violates the (possibly edited) constraints is
+        simply rejected here rather than corrupting the solve.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape != self.lower.shape:
+            return False
+        if (x < self.lower - tol).any() or (x > self.upper + tol).any():
+            return False
+        integral = x[self.integer_mask]
+        if integral.size and np.abs(integral - np.round(integral)).max() > tol:
+            return False
+        if self.a_ub.size and (self.a_ub @ x > self.b_ub + tol).any():
+            return False
+        if self.a_eq.size and np.abs(self.a_eq @ x - self.b_eq).max() > tol:
+            return False
+        return True
+
 
 class Model:
     """A mixed-integer linear program under construction."""

@@ -1,0 +1,229 @@
+"""Racing MILP portfolio: reference B&B vs HiGHS, first proof wins.
+
+On hard instances neither backend dominates: the pure-Python reference
+solver's best-first search occasionally proves optimality in a handful
+of nodes where HiGHS's presolve overhead dominates, while HiGHS is
+orders of magnitude faster on the large binding formulations. The
+portfolio runs both in parallel worker processes and returns as soon as
+either produces a *proven* answer (optimal / infeasible / unbounded),
+terminating the loser.
+
+Determinism: the exactness of both backends means any proven answer
+agrees on verdict and objective value, so first-proof-wins cannot
+change what callers observe (and the canonical-binding layer in
+:mod:`repro.core.binding` keeps reported designs byte-identical even
+under degenerate ties). The only nondeterminism a race could introduce
+is through *limit-degraded* answers -- a node or time budget expiring
+with an unproven incumbent. Those never win the race directly: they
+are held until both workers have reported, then resolved with a fixed
+reference-first tie-break. The practical caveat remains that a
+limit-degraded result itself (which incumbent was in hand when the
+budget died) is timing-dependent inside either backend; equivalence
+guarantees apply to solves that complete within their budgets.
+
+Workers are spawned with the engine's preferred multiprocessing context
+(:func:`repro.exec.engine.preferred_mp_context`, fork where available).
+Where worker processes cannot be spawned at all -- inside a daemonic
+pool worker, or when the OS refuses -- the race degrades to an
+in-process HiGHS solve rather than failing.
+
+Solutions cross the process boundary as index-aligned value vectors
+(variable identity does not survive independent pickling; column order
+does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.milp.expr import Variable
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus, solution_from_vector
+from repro.obs import metrics as _metrics
+
+__all__ = ["race_portfolio", "race_win_counts", "RACE_BACKENDS"]
+
+RACE_BACKENDS = ("reference", "highs")
+"""Backends entered into every race, in tie-break priority order."""
+
+_POLL_SECONDS = 0.05
+
+_RACE_WINS = _metrics.counter(
+    "repro_race_wins_total",
+    "Portfolio races won, by MILP backend.",
+    ("backend",),
+)
+
+_PROVEN = frozenset(
+    {SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED}
+)
+
+
+def race_win_counts() -> Dict[str, int]:
+    """Races won so far this process, keyed by backend name."""
+    return {
+        key[0]: int(value) for key, value in _RACE_WINS.collect().items()
+    }
+
+
+def _encode(solution: Solution, model: Model) -> Dict[str, object]:
+    """Flatten a solution for the queue (index-aligned, no Variables)."""
+    x = None
+    if solution.values:
+        x = [
+            float(solution.values.get(var, 0.0)) for var in model.variables
+        ]
+    return {
+        "status": solution.status.name,
+        "objective": solution.objective,
+        "x": x,
+        "nodes": solution.nodes,
+        "timed_out": solution.timed_out,
+    }
+
+
+def _race_worker(backend: str, model, options, warm_values, queue) -> None:
+    """Child-process entry: solve with one backend, post the outcome."""
+    import dataclasses
+
+    from repro.milp.branch_bound import solve_milp
+
+    try:
+        solution = solve_milp(
+            model,
+            dataclasses.replace(options, backend=backend),
+            warm_values,
+        )
+        queue.put((backend, _encode(solution, model)))
+    except BaseException as exc:  # noqa: BLE001 - loser must not hang the race
+        try:
+            queue.put((backend, {"error": repr(exc)}))
+        except Exception:  # noqa: BLE001 - queue already torn down
+            pass
+
+
+def _decode(payload: Dict[str, object], form) -> Solution:
+    status = SolveStatus[payload["status"]]
+    x = payload["x"]
+    return solution_from_vector(
+        status,
+        np.asarray(x, dtype=float) if x is not None else None,
+        payload["objective"],
+        form,
+        int(payload["nodes"]),
+        timed_out=bool(payload["timed_out"]),
+    )
+
+
+def _fallback_in_process(
+    model: Model, options, warm_values
+) -> Solution:
+    """No worker processes available: solve with HiGHS right here."""
+    from repro.milp.highs_backend import solve_milp_highs
+
+    solution = solve_milp_highs(model, options, warm_values)
+    _RACE_WINS.inc(backend="highs")
+    return solution
+
+
+def race_portfolio(
+    model: Model,
+    options,
+    warm_values: Optional[Dict[Variable, float]] = None,
+) -> Solution:
+    """Race the reference and HiGHS backends; first proven answer wins.
+
+    ``options`` is a :class:`~repro.milp.branch_bound.BranchBoundOptions`
+    whose limits apply to *each* contestant independently.
+    """
+    import multiprocessing as mp
+
+    from repro.exec.engine import preferred_mp_context
+
+    if mp.current_process().daemon:
+        return _fallback_in_process(model, options, warm_values)
+
+    context = preferred_mp_context()
+    queue = context.Queue()
+    workers = {}
+    try:
+        for backend in RACE_BACKENDS:
+            process = context.Process(
+                target=_race_worker,
+                args=(backend, model, options, warm_values, queue),
+                name=f"repro-race-{backend}",
+            )
+            process.start()
+            workers[backend] = process
+    except OSError:
+        for process in workers.values():
+            process.terminate()
+            process.join()
+        return _fallback_in_process(model, options, warm_values)
+
+    form = model.to_standard_form()
+    held: Dict[str, Solution] = {}
+    winner: Optional[Tuple[str, Solution]] = None
+    try:
+        while winner is None:
+            drained = False
+            while True:
+                try:
+                    backend, payload = queue.get_nowait()
+                except Exception:  # noqa: BLE001 - queue.Empty (context-local)
+                    break
+                drained = True
+                if "error" in payload:
+                    continue  # dead contestant; the other may still answer
+                solution = _decode(payload, form)
+                if solution.status in _PROVEN:
+                    winner = (backend, solution)
+                    break
+                held[backend] = solution
+            if winner is not None:
+                break
+            finished = [
+                backend
+                for backend, process in workers.items()
+                if not process.is_alive()
+            ]
+            if len(finished) == len(workers) and not drained:
+                # Everyone reported (or died); no proof arrived. Resolve
+                # limit-degraded incumbents with the fixed priority
+                # order so the outcome never depends on arrival timing.
+                for backend in RACE_BACKENDS:
+                    if backend in held:
+                        winner = (backend, held[backend])
+                        break
+                if winner is None:
+                    raise SolverError(
+                        "portfolio race failed: every backend crashed "
+                        "without producing a solution"
+                    )
+                break
+            if winner is None and not drained:
+                try:
+                    backend, payload = queue.get(timeout=_POLL_SECONDS)
+                except Exception:  # noqa: BLE001 - Empty; loop re-checks liveness
+                    continue
+                if "error" in payload:
+                    continue
+                solution = _decode(payload, form)
+                if solution.status in _PROVEN:
+                    winner = (backend, solution)
+                else:
+                    held[backend] = solution
+    finally:
+        for process in workers.values():
+            if process.is_alive():
+                process.terminate()
+            process.join()
+        queue.close()
+        queue.cancel_join_thread()
+
+    backend, solution = winner
+    _RACE_WINS.inc(backend=backend)
+    return solution

@@ -8,7 +8,7 @@ from typing import Dict, Optional
 
 from repro.milp.expr import Variable
 
-__all__ = ["SolveStatus", "Solution"]
+__all__ = ["SolveStatus", "Solution", "solution_from_vector"]
 
 
 class SolveStatus(enum.Enum):
@@ -61,3 +61,36 @@ class Solution:
     def value(self, var: Variable, default: float = 0.0) -> float:
         """Value of ``var`` or ``default`` when absent."""
         return self.values.get(var, default)
+
+
+def solution_from_vector(
+    status: SolveStatus,
+    x,
+    objective: Optional[float],
+    form,
+    nodes: int,
+    timed_out: bool = False,
+) -> Solution:
+    """Build a :class:`Solution` from a raw variable vector.
+
+    ``form`` is the model's :class:`~repro.milp.model.StandardForm`;
+    integral variables are rounded to exact integers (every backend
+    returns them within tolerance of integrality). With ``x`` ``None``
+    the solution carries only the status -- infeasible/unbounded/limit
+    outcomes.
+    """
+    if x is None:
+        return Solution(status, nodes=nodes, timed_out=timed_out)
+    values: Dict[Variable, float] = {}
+    for var, value in zip(form.variables, x):
+        if var.is_integral:
+            values[var] = float(round(value))
+        else:
+            values[var] = float(value)
+    return Solution(
+        status,
+        objective=float(objective),
+        values=values,
+        nodes=nodes,
+        timed_out=timed_out,
+    )

@@ -36,9 +36,21 @@ import numpy as np
 from repro.exec.cache import ResultCache
 from repro.obs import metrics as _metrics
 
-__all__ = ["StageCounters", "ArtifactStore", "STAGE_ENTRY_FORMAT"]
+__all__ = [
+    "StageCounters",
+    "ArtifactStore",
+    "STAGE_ENTRY_FORMAT",
+    "WARM_HINT_FORMAT",
+]
 
 STAGE_ENTRY_FORMAT = "repro-stage-artifact-v1"
+
+WARM_HINT_FORMAT = "repro-warm-hint-v1"
+
+_WARM_MEMORY_SLOTS = 256
+"""Warm-start hints kept in memory per store. Hints are tiny (one int
+per target) so the bound is generous; it exists to keep a pathological
+sweep from growing the map without limit."""
 
 _STAGE_EVENTS = _metrics.counter(
     "repro_stage_events_total",
@@ -189,6 +201,7 @@ class ArtifactStore:
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1")
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self._warm: "OrderedDict[str, List[int]]" = OrderedDict()
         self.max_memory_entries = max_memory_entries
         self.disk = disk
         self.counters = StageCounters()
@@ -265,6 +278,54 @@ class ArtifactStore:
             self._disk_key(fingerprint),
             {"format": STAGE_ENTRY_FORMAT, "payload": payload},
         )
+
+    # -- warm-start hints ---------------------------------------------
+
+    def get_warm(self, key: str) -> Optional[List[int]]:
+        """The last binding solved under warm-hint slot ``key``.
+
+        Checks the in-memory map first, then the disk layer (entries
+        keyed ``warm-<key>``). Hints are advisory -- the solver
+        re-validates them -- so a malformed or missing entry is simply
+        a miss.
+        """
+        with self._memory_lock:
+            hint = self._warm.get(key)
+            if hint is not None:
+                self._warm.move_to_end(key)
+                return list(hint)
+        if self.disk is None:
+            return None
+        entry = self.disk.get_json(f"warm-{key}")
+        if entry is None or entry.get("format") != WARM_HINT_FORMAT:
+            return None
+        binding = entry.get("binding")
+        if not isinstance(binding, list) or not all(
+            isinstance(bus, int) for bus in binding
+        ):
+            return None
+        with self._memory_lock:
+            self._warm[key] = list(binding)
+            self._warm.move_to_end(key)
+        return list(binding)
+
+    def put_warm(self, key: str, binding) -> None:
+        """Record ``binding`` as the warm-start hint for slot ``key``.
+
+        Unlike artifacts, hints overwrite: the slot always holds the
+        most recent solve's answer, which is the best available guess
+        for the next similar problem.
+        """
+        hint = [int(bus) for bus in binding]
+        with self._memory_lock:
+            self._warm[key] = hint
+            self._warm.move_to_end(key)
+            while len(self._warm) > _WARM_MEMORY_SLOTS:
+                self._warm.popitem(last=False)
+        if self.disk is not None:
+            self.disk.put_json(
+                f"warm-{key}", {"format": WARM_HINT_FORMAT, "binding": hint}
+            )
 
     # -- tensor sidecars ----------------------------------------------
 

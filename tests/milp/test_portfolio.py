@@ -1,0 +1,91 @@
+"""The racing solver portfolio: reference vs HiGHS, first proof wins.
+
+Whichever contestant wins, the portfolio must report the same verdict
+and objective as either backend alone -- exactness is what makes racing
+safe. Win attribution feeds ``repro_race_wins_total``.
+"""
+
+import pytest
+
+from repro.milp import (
+    BranchBoundOptions,
+    LinExpr,
+    Model,
+    SolveStatus,
+    race_win_counts,
+    solve_milp,
+)
+from repro.milp.portfolio import RACE_BACKENDS, race_portfolio
+
+PORTFOLIO = BranchBoundOptions(backend="portfolio")
+
+
+def _knapsack():
+    model = Model("knapsack")
+    values = [10, 13, 7, 8]
+    weights = [3, 4, 2, 3]
+    xs = [model.binary_var(f"x{i}") for i in range(4)]
+    model.add(LinExpr.total(w * x for w, x in zip(weights, xs)) <= 6)
+    model.minimize(LinExpr.total(-v * x for v, x in zip(values, xs)))
+    return model, xs
+
+
+class TestRace:
+    def test_agrees_with_single_backends(self):
+        model, _ = _knapsack()
+        solution = solve_milp(model, PORTFOLIO)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-20)
+
+    def test_infeasible(self):
+        model = Model()
+        x = model.binary_var("x")
+        model.add(x >= 2)
+        solution = solve_milp(model, PORTFOLIO)
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    def test_feasibility_only(self):
+        model = Model()
+        xs = [model.binary_var(f"x{i}") for i in range(6)]
+        model.add(LinExpr.total(xs) >= 3)
+        solution = solve_milp(
+            model,
+            BranchBoundOptions(feasibility_only=True, backend="portfolio"),
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert sum(solution[x] for x in xs) >= 3
+
+    def test_warm_start_forwarded(self):
+        model, xs = _knapsack()
+        warm = {xs[0]: 1.0, xs[1]: 0.0, xs[2]: 0.0, xs[3]: 0.0}
+        solution = solve_milp(model, PORTFOLIO, warm_values=warm)
+        assert solution.objective == pytest.approx(-20)
+
+    def test_win_attributed_to_a_contestant(self):
+        model, _ = _knapsack()
+        before = race_win_counts()
+        race_portfolio(model, BranchBoundOptions())
+        after = race_win_counts()
+        gained = {
+            backend: after.get(backend, 0) - before.get(backend, 0)
+            for backend in RACE_BACKENDS
+        }
+        assert sum(gained.values()) == 1
+        assert all(delta >= 0 for delta in gained.values())
+
+    def test_race_backends_are_the_exact_tiers(self):
+        assert RACE_BACKENDS == ("reference", "highs")
+
+    def test_fallback_in_daemon_context(self, monkeypatch):
+        # A daemon process cannot fork children; the race degrades to an
+        # in-process HiGHS solve and still answers correctly.
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing.current_process(), "_config",
+            {**multiprocessing.current_process()._config, "daemon": True},
+        )
+        model, _ = _knapsack()
+        solution = race_portfolio(model, BranchBoundOptions())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-20)

@@ -158,6 +158,170 @@ def test_server_throughput(benchmark, results_dir):
     )
 
 
+def test_server_multi_fingerprint_burst(benchmark, results_dir):
+    """Shared stage plane SLO: a burst of design requests that differ
+    only in overlap threshold.
+
+    Threshold lives in the *conflict* stage spec, so these requests
+    share window-stage fingerprints while remaining distinct jobs with
+    distinct solves -- exactly the shape the zero-copy plane exists
+    for. The timed kernel is the warm burst: K fresh-threshold
+    requests against a daemon whose plane already holds the window
+    tensors. The gates:
+
+    * zero re-windowing on the warm burst -- every job's ``window``
+      progress row shows ``shm_hit`` (2 per job: both crossbar sides)
+      and no ``computed``/``disk_hit``;
+    * every report byte-identical to a ``--no-shm`` daemon's;
+    * the warm burst is not slower than the no-plane daemon answering
+      the same burst from its npz sidecar tier.
+    """
+    from repro.pipeline import shm
+    from repro.server import SynthesisServer
+
+    cold_thresholds = (0.10, 0.20, 0.30, 0.40)
+    warm_thresholds = (0.15, 0.25, 0.35, 0.45)
+
+    def burst(base, thresholds):
+        """Submit one design request per threshold concurrently."""
+        payloads = {}
+        lock = threading.Lock()
+
+        def one(threshold):
+            done = _submit_and_wait(
+                base,
+                {"kind": "design", "app": "qsort", "threshold": threshold},
+            )
+            with lock:
+                payloads[threshold] = done
+
+        threads = [
+            threading.Thread(target=one, args=(t,)) for t in thresholds
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return payloads
+
+    def window_tallies(payloads):
+        totals = {"computed": 0, "disk_hit": 0, "shm_hit": 0}
+        for done in payloads.values():
+            row = done.get("progress", {}).get("window", {})
+            for kind in totals:
+                totals[kind] += row.get(kind, 0)
+        return totals
+
+    shm.reset_plane()
+    shm.set_enabled(True)
+    results = {}
+    try:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            server = SynthesisServer(port=0, cache_dir=cache_dir, workers=2)
+            server.start()
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            try:
+                cold_begin = time.perf_counter()
+                cold = burst(base, cold_thresholds)
+                cold_seconds = time.perf_counter() - cold_begin
+                cold_windows = window_tallies(cold)
+                # The first job(s) pay the windowing; later jobs in the
+                # same burst already ride the plane.
+                assert cold_windows["computed"] >= 2
+                assert cold_windows["shm_hit"] > 0
+
+                warm = benchmark.pedantic(
+                    lambda: burst(base, warm_thresholds),
+                    rounds=1,
+                    iterations=1,
+                )
+                warm_seconds = benchmark.stats.stats.mean
+                warm_windows = window_tallies(warm)
+                # The acceptance property: zero re-windowing on the
+                # warm burst -- every window served by the plane.
+                assert warm_windows["computed"] == 0, warm_windows
+                assert warm_windows["disk_hit"] == 0, warm_windows
+                assert warm_windows["shm_hit"] == 2 * len(warm_thresholds)
+
+                stats = _get(base, "/v1/stats")
+                assert stats["shm"]["enabled"] is True
+                assert stats["shm"]["offers"] >= 2
+                assert stats["shm"]["events"].get("local_hit", 0) >= (
+                    warm_windows["shm_hit"]
+                )
+                for threshold, done in {**cold, **warm}.items():
+                    results[threshold] = json.dumps(
+                        done["result"], sort_keys=True
+                    )
+            finally:
+                server.stop()
+
+        # Reference daemon without the plane (the --no-shm wiring):
+        # same bursts, fresh cache; windows come off the npz sidecar
+        # tier instead. Reports must be byte-identical.
+        shm.reset_plane()
+        shm.set_enabled(False)
+        with tempfile.TemporaryDirectory() as cache_dir:
+            server = SynthesisServer(port=0, cache_dir=cache_dir, workers=2)
+            server.start()
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            try:
+                plain_cold = burst(base, cold_thresholds)
+                plain_begin = time.perf_counter()
+                plain_warm = burst(base, warm_thresholds)
+                plain_seconds = time.perf_counter() - plain_begin
+                plain_windows = window_tallies(
+                    {**plain_cold, **plain_warm}
+                )
+                assert plain_windows["shm_hit"] == 0
+                for threshold, done in {
+                    **plain_cold, **plain_warm
+                }.items():
+                    assert results[threshold] == json.dumps(
+                        done["result"], sort_keys=True
+                    ), f"report for threshold {threshold} diverged"
+            finally:
+                server.stop()
+    finally:
+        shm.set_enabled(True)
+        shm.reset_plane()
+
+    # SLO: riding the plane must not lose to re-reading sidecars (a
+    # generous bound -- solver time dominates both sides; the real
+    # teeth are the zero-re-windowing tallies above).
+    assert warm_seconds < max(plain_seconds, 0.05) * 1.5, (
+        f"plane burst {warm_seconds:.4f}s vs no-shm {plain_seconds:.4f}s"
+    )
+
+    benchmark.extra_info["burst_size"] = len(warm_thresholds)
+    benchmark.extra_info["cold_burst_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["noshm_burst_seconds"] = round(plain_seconds, 4)
+    benchmark.extra_info["cold_window_computed"] = cold_windows["computed"]
+    benchmark.extra_info["warm_window_shm_hits"] = warm_windows["shm_hit"]
+    benchmark.extra_info["warm_over_noshm"] = round(
+        warm_seconds / plain_seconds, 4
+    ) if plain_seconds else None
+
+    emit(
+        results_dir,
+        "server_multi_fingerprint_burst",
+        "\n".join(
+            [
+                "repro serve multi-fingerprint burst (design qsort, "
+                f"{len(warm_thresholds)} thresholds/burst)",
+                f"  cold burst        {cold_seconds * 1e3:9.1f} ms "
+                f"({cold_windows['computed']} windows computed, "
+                f"{cold_windows['shm_hit']} plane hits)",
+                f"  warm burst (shm)  {warm_seconds * 1e3:9.1f} ms "
+                f"({warm_windows['shm_hit']} plane hits, 0 re-windowed)",
+                f"  warm burst (off)  {plain_seconds * 1e3:9.1f} ms "
+                "(npz sidecar tier)",
+                "  reports byte-identical with the plane on and off",
+            ]
+        ),
+    )
+
+
 def test_server_fault_injected_burst(benchmark, results_dir):
     """Chaos burst: coalesced suite solve under injected worker crashes.
 

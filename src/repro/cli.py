@@ -89,6 +89,12 @@ def _add_engine_options(subparser: argparse.ArgumentParser) -> None:
         help="arm span tracing for this run and write the captured "
         "spans as JSONL to FILE (inspect with 'repro trace FILE')",
     )
+    subparser.add_argument(
+        "--no-shm", action="store_true",
+        help="disable the shared stage plane (mmap sidecar tier + "
+        "shared-memory window tensors published to pool workers); "
+        "results are identical either way",
+    )
 
 
 def _stage_seconds_snapshot():
@@ -461,6 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
         "or a path to a JSON file) for chaos testing; exported to "
         "workers via REPRO_FAULTS",
     )
+    serve.add_argument(
+        "--no-shm", action="store_true",
+        help="disable the shared stage plane (cross-job window-tensor "
+        "sharing and the mmap sidecar tier); results are identical "
+        "either way",
+    )
     return parser
 
 
@@ -491,6 +503,10 @@ def _config_from_args(args) -> SynthesisConfig:
 
 
 def _engine_from_args(args) -> ExecutionEngine:
+    if getattr(args, "no_shm", False):
+        from repro.pipeline import shm
+
+        shm.set_enabled(False)
     return ExecutionEngine(jobs=args.jobs, cache=args.cache_dir)
 
 
@@ -862,6 +878,11 @@ def _cmd_serve(args) -> int:
             f"repro serve: fault injection ACTIVE "
             f"(seed={plan.seed}, points={', '.join(sorted(plan.rules))})"
         )
+
+    if args.no_shm:
+        from repro.pipeline import shm
+
+        shm.set_enabled(False)
 
     server = start_server(
         host=args.host,

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 import threading
 import time
@@ -296,18 +297,46 @@ class ResultCache:
             yield entry.stem
 
     def _entry_files(self):
-        """Every managed file: ``.json`` entries plus ``.npz`` tensor
-        sidecars (see :meth:`repro.pipeline.store.ArtifactStore.put_arrays`),
-        with the same foreign-file filtering as :meth:`keys`."""
+        """Every managed entry: ``.json`` files, ``.npz`` tensor
+        sidecars, and ``.mmap`` uncompressed-sidecar *directories* (see
+        :meth:`repro.pipeline.store.ArtifactStore.put_arrays`), with
+        the same foreign-file filtering as :meth:`keys`."""
         if not self.cache_dir.is_dir():
             return
-        for pattern in ("*.json", "*.npz"):
+        for pattern in ("*.json", "*.npz", "*.mmap"):
             for entry in sorted(self.cache_dir.glob(pattern)):
                 if entry.name.startswith("."):
                     continue
                 if any(ch in entry.stem for ch in "/\\."):
                     continue
                 yield entry
+
+    @staticmethod
+    def _entry_size(path: Path) -> int:
+        """One entry's footprint: the file's size, or the summed member
+        sizes for ``.mmap`` directory entries."""
+        stat = path.stat()
+        if not path.is_dir():
+            return stat.st_size
+        total = 0
+        for member in path.iterdir():
+            try:
+                total += member.stat().st_size
+            except OSError:  # member vanished mid-walk: skip
+                continue
+        return total
+
+    @staticmethod
+    def _remove_entry(path: Path) -> None:
+        """Unlink one entry, whichever shape it has; raises ``OSError``
+        on failure like a plain unlink (vanished directories pass)."""
+        if path.is_dir():
+            try:
+                shutil.rmtree(path)
+            except FileNotFoundError:  # concurrent eviction won
+                pass
+        else:
+            path.unlink()
 
     # Temp files older than this are assumed orphaned: no healthy
     # writer holds a mkstemp file open for an hour.
@@ -321,10 +350,11 @@ class ResultCache:
         SIGKILLed server) leaves its temp file behind, invisible to
         :meth:`keys`/:meth:`prune` and accumulating forever. The sweep
         runs on construction and before :meth:`prune`, removing temp
-        files older than ``max_age_s`` (default
-        :attr:`ORPHAN_TMP_AGE_S`); the age guard keeps it from racing a
-        *live* writer's in-flight temp file in a shared directory.
-        Returns the number of files removed.
+        files -- and temp *directories* from torn mmap-tier writes --
+        older than ``max_age_s`` (default :attr:`ORPHAN_TMP_AGE_S`);
+        the age guard keeps it from racing a *live* writer's in-flight
+        temp file in a shared directory. Returns the number of entries
+        removed.
         """
         if max_age_s is None:
             max_age_s = self.ORPHAN_TMP_AGE_S
@@ -335,19 +365,19 @@ class ResultCache:
         for entry in list(self.cache_dir.glob(".tmp-*")):
             try:
                 if entry.stat().st_mtime <= cutoff:
-                    entry.unlink()
+                    self._remove_entry(entry)
                     removed += 1
             except OSError:  # vanished mid-walk or unremovable: skip
                 continue
         return removed
 
     def clear(self) -> int:
-        """Delete every entry (JSON and ``.npz`` sidecars); returns the
-        number of files removed."""
+        """Delete every entry (JSON, ``.npz`` sidecars, and ``.mmap``
+        sidecar directories); returns the number of entries removed."""
         removed = 0
         for path in list(self._entry_files()):
             try:
-                path.unlink()
+                self._remove_entry(path)
                 removed += 1
             except OSError:
                 pass
@@ -365,7 +395,7 @@ class ResultCache:
         total = 0
         for path in self._entry_files():
             try:
-                total += path.stat().st_size
+                total += self._entry_size(path)
                 entries += 1
             except OSError:  # vanished mid-walk: skip, never raise
                 pass
@@ -374,10 +404,11 @@ class ResultCache:
     def prune(self, max_bytes: int) -> int:
         """Evict least-recently-used entries until the cache fits.
 
-        Entries (JSON and ``.npz`` sidecars alike) are removed
-        oldest-mtime-first (hits refresh mtime, so recently-used entries
-        survive) until the remaining footprint is at most ``max_bytes``.
-        Returns the number of files removed.
+        Entries (JSON files, ``.npz`` sidecars and ``.mmap`` sidecar
+        directories alike) are removed oldest-mtime-first (hits refresh
+        mtime, so recently-used entries survive) until the remaining
+        footprint is at most ``max_bytes``. Returns the number of
+        entries removed.
 
         Like :meth:`usage`, pruning tolerates concurrent access: files
         that vanish between the walk and their ``stat``/``unlink``
@@ -393,17 +424,18 @@ class ResultCache:
         for path in self._entry_files():
             try:
                 stat = path.stat()
+                size = self._entry_size(path)
             except OSError:  # vanished mid-walk: skip, never raise
                 continue
-            aged.append((stat.st_mtime, str(path), path, stat.st_size))
-            total += stat.st_size
+            aged.append((stat.st_mtime, str(path), path, size))
+            total += size
         aged.sort(key=lambda item: (item[0], item[1]))
         removed = 0
         for _mtime, _name, path, size in aged:
             if total <= max_bytes:
                 break
             try:
-                path.unlink()
+                self._remove_entry(path)
             except OSError:
                 continue
             total -= size

@@ -1,0 +1,536 @@
+"""The zero-copy shared stage plane for windowed tensors.
+
+Window stages dominate warm synthesis cost, and every execution context
+used to pay them separately: each pool worker re-memoized windowing in
+its own :func:`~repro.pipeline.runner.shared_runner`, and each ``repro
+serve`` job thread rebuilt the same tensors through its own
+:class:`~repro.pipeline.store.ArtifactStore`. This module makes a
+windowed analysis computed *anywhere* in the process tree visible
+*everywhere*, without copying tensor bytes:
+
+* an **offers registry** -- a process-local, LRU-bounded map from stage
+  fingerprint to the live artifact. Server job threads (and fork
+  workers, which inherit it copy-on-write) resolve window stages from
+  here at pointer cost.
+* a **segment plane** -- before pool fan-out the parent packs offered
+  tensors into :class:`multiprocessing.shared_memory.SharedMemory`
+  segments and exports a manifest through the ``REPRO_SHM`` environment
+  variable (mirroring ``REPRO_TRACE``/``REPRO_FAULTS``, so fork *and*
+  spawn workers inherit it). Workers attach read-only ``np.ndarray``
+  views over the segment buffer: one physical copy of the tensors per
+  box, however many workers map it.
+
+Failure discipline: every attach/parse problem -- missing segment, torn
+manifest, truncated member, a platform without ``/dev/shm`` -- records a
+``fallback`` event and degrades to the next tier (disk sidecar, then
+recompute). The plane is an accelerator, never a correctness layer;
+reports must be byte-identical with it enabled, disabled, or mid-fall
+back, which is what the chaos suite asserts.
+
+Lifecycle rules that keep this crash-safe:
+
+* Segments are refcounted across in-flight fan-outs and unlinked by the
+  creating process only (``atexit`` + pid guard, so fork children never
+  reap the parent's plane).
+* Workers never ``close()`` an attached segment while the process
+  lives: numpy views into the buffer would be left dangling (SIGBUS).
+  Attachments are cached for process lifetime; the OS reclaims the
+  mappings at exit.
+* Attaching registers the segment with the resource tracker on CPython
+  < 3.13 as if the worker owned it (bpo-39959). Attachments use
+  ``track=False`` where available; on older Pythons the stray
+  registration is tolerated instead of unregistered -- workers are
+  always descendants of the publisher, so they share its tracker
+  daemon, which dedupes by name, and unregistering would strip the
+  owner's own registration.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from collections import Counter, OrderedDict
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+__all__ = [
+    "SHM_ENV_VAR",
+    "SHM_DISABLE_ENV_VAR",
+    "enabled",
+    "set_enabled",
+    "record_event",
+    "offer",
+    "lookup_artifact",
+    "lookup_arrays",
+    "attach_from_env",
+    "propagate_plane",
+    "plane_summary",
+    "reset_plane",
+]
+
+SHM_ENV_VAR = "REPRO_SHM"
+"""Environment handshake carrying the segment manifest to workers."""
+
+SHM_DISABLE_ENV_VAR = "REPRO_SHM_DISABLE"
+"""Set to ``1`` (by ``--no-shm``) to turn the whole plane off; exported
+so pool workers of every start method inherit the decision."""
+
+_OFFER_SLOTS = 32
+"""Live window artifacts the registry pins. Window artifacts are the
+only tensors offered and a sweep touches a handful of distinct specs;
+the bound exists so a long-lived server cannot grow the plane without
+limit."""
+
+_SEGMENT_SLOTS = 16
+"""Shared-memory segments kept published at once (LRU). Eviction dooms
+a segment still referenced by an in-flight fan-out; it is destroyed
+when the last fan-out releases it."""
+
+_MAX_SEGMENT_BYTES = 256 * 1024 * 1024
+"""Per-segment ceiling. Anything larger is better served by the mmap
+sidecar tier, where the page cache pays only for the pages touched."""
+
+_ALIGN = 64
+
+_SHM_EVENTS = _metrics.counter(
+    "repro_shm_events_total",
+    "Shared stage plane outcomes (publish/attach/hits/fallback/promote).",
+    ("event",),
+)
+
+
+class _Offer:
+    __slots__ = ("artifact", "encode")
+
+    def __init__(
+        self, artifact: Any, encode: Callable[[], Mapping[str, np.ndarray]]
+    ) -> None:
+        self.artifact = artifact
+        self.encode = encode
+
+
+class _Segment:
+    __slots__ = ("shm", "entry", "nbytes", "refs", "doomed")
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, entry: Dict[str, Any],
+        nbytes: int,
+    ) -> None:
+        self.shm = shm
+        self.entry = entry
+        self.nbytes = nbytes
+        self.refs = 0
+        self.doomed = False
+
+
+_LOCK = threading.RLock()
+_ENABLED: Optional[bool] = None
+_TALLY: "Counter[str]" = Counter()
+
+# publisher side (the process that computed the tensors)
+_OFFERS: "OrderedDict[str, _Offer]" = OrderedDict()
+_SEGMENTS: "OrderedDict[str, _Segment]" = OrderedDict()
+_OWNER_PID: Optional[int] = None
+_SEGMENTS_BROKEN = False
+
+# attacher side (pool workers; pid-guarded so fork children re-resolve)
+_ATTACHED: Dict[str, Optional[shared_memory.SharedMemory]] = {}
+_MANIFEST: Optional[Dict[str, Any]] = None
+_MANIFEST_RAW: Optional[str] = None
+_MANIFEST_PID: Optional[int] = None
+
+
+def enabled() -> bool:
+    """Whether the plane participates in lookups (lazily resolved from
+    the environment, so spawn workers follow the parent's decision)."""
+    global _ENABLED
+    with _LOCK:
+        if _ENABLED is None:
+            _ENABLED = os.environ.get(SHM_DISABLE_ENV_VAR) != "1"
+        return _ENABLED
+
+
+def set_enabled(flag: bool, export_env: bool = True) -> None:
+    """Turn the plane on or off; with ``export_env`` the decision is
+    mirrored into :data:`SHM_DISABLE_ENV_VAR` so pool workers of either
+    start method inherit it (the ``--no-shm`` wiring)."""
+    global _ENABLED
+    with _LOCK:
+        _ENABLED = bool(flag)
+    if export_env:
+        if flag:
+            os.environ.pop(SHM_DISABLE_ENV_VAR, None)
+        else:
+            os.environ[SHM_DISABLE_ENV_VAR] = "1"
+
+
+def record_event(event: str) -> None:
+    """Tally one plane event into ``repro_shm_events_total`` (and the
+    local summary the server's ``/v1/stats`` exposes)."""
+    _SHM_EVENTS.inc(event=event)
+    with _LOCK:
+        _TALLY[event] += 1
+
+
+# -- publisher side ----------------------------------------------------
+
+
+def offer(
+    fingerprint: str,
+    artifact: Any,
+    encode: Callable[[], Mapping[str, np.ndarray]],
+) -> None:
+    """Register a live artifact with the plane.
+
+    ``encode`` produces the plain-tensor form on demand -- it is only
+    called if a fan-out actually publishes the segment, so offering is
+    pointer-cheap on hot paths.
+    """
+    if not enabled():
+        return
+    with _LOCK:
+        fresh = fingerprint not in _OFFERS
+        _OFFERS[fingerprint] = _Offer(artifact, encode)
+        _OFFERS.move_to_end(fingerprint)
+        while len(_OFFERS) > _OFFER_SLOTS:
+            _OFFERS.popitem(last=False)
+    if fresh:
+        record_event("offer")
+
+
+def lookup_artifact(fingerprint: str) -> Optional[Any]:
+    """The live offered artifact for ``fingerprint``, or ``None``.
+
+    This is the cross-thread (server jobs) and fork-inheritance path:
+    the artifact object itself is shared, so the hit is zero-copy by
+    construction. Callers must treat it as immutable.
+    """
+    if not enabled():
+        return None
+    with _LOCK:
+        entry = _OFFERS.get(fingerprint)
+        if entry is None:
+            return None
+        _OFFERS.move_to_end(fingerprint)
+        artifact = entry.artifact
+    record_event("local_hit")
+    return artifact
+
+
+def _publish_segment(arrays: Mapping[str, np.ndarray]) -> Optional[_Segment]:
+    """Pack ``arrays`` into one shared-memory segment; ``None`` when the
+    payload exceeds the per-segment ceiling. Raises ``OSError`` where
+    the platform cannot provide shared memory."""
+    specs: List[Dict[str, Any]] = []
+    payload = []
+    offset = 0
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        offset = -(-offset // _ALIGN) * _ALIGN
+        specs.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+            }
+        )
+        payload.append((arr, offset))
+        offset += arr.nbytes
+    nbytes = max(offset, 1)
+    if nbytes > _MAX_SEGMENT_BYTES:
+        return None
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    for arr, off in payload:
+        if arr.nbytes == 0:
+            continue
+        view = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=segment.buf, offset=off
+        )
+        view[...] = arr
+        del view
+    return _Segment(
+        shm=segment,
+        entry={"name": segment.name, "arrays": specs},
+        nbytes=nbytes,
+    )
+
+
+def _destroy_segment(segment: _Segment) -> None:
+    try:
+        segment.shm.close()
+    except (OSError, BufferError):  # pragma: no cover - platform paths
+        pass
+    try:
+        segment.shm.unlink()
+    except (OSError, FileNotFoundError):  # pragma: no cover
+        pass
+
+
+def _evict_segments_locked() -> None:
+    while len(_SEGMENTS) > _SEGMENT_SLOTS:
+        _fp, segment = _SEGMENTS.popitem(last=False)
+        record_event("evict")
+        if segment.refs > 0:
+            segment.doomed = True  # reaped when its fan-out releases it
+        else:
+            _destroy_segment(segment)
+
+
+@contextmanager
+def propagate_plane():
+    """Publish the current offers as shared-memory segments and export
+    the manifest through ``REPRO_SHM`` for the duration of a fan-out
+    (the ``multiprocessing`` analogue of
+    :func:`repro.obs.tracing.propagate_context` -- wrap pool fan-outs
+    in both).
+
+    Segments persist across fan-outs (publishing is idempotent per
+    fingerprint); the environment manifest is scoped to the block and
+    the previous value restored, and each published segment is
+    refcounted so LRU eviction can never unlink a segment a live worker
+    may still attach.
+    """
+    global _OWNER_PID, _SEGMENTS_BROKEN
+    if not enabled():
+        yield
+        return
+    published: List[_Segment] = []
+    manifest: Dict[str, Any] = {}
+    with _LOCK:
+        for fingerprint, entry in list(_OFFERS.items()):
+            segment = _SEGMENTS.get(fingerprint)
+            if segment is None and not _SEGMENTS_BROKEN:
+                try:
+                    with _tracing.span(
+                        "shm.publish", fingerprint=fingerprint[:12]
+                    ):
+                        segment = _publish_segment(dict(entry.encode()))
+                except (OSError, ValueError, MemoryError):
+                    # No /dev/shm, exhausted shm quota, un-encodable
+                    # payload: stop trying for this process lifetime.
+                    _SEGMENTS_BROKEN = True
+                    record_event("fallback")
+                    segment = None
+                if segment is not None:
+                    _OWNER_PID = os.getpid()
+                    _SEGMENTS[fingerprint] = segment
+                    record_event("publish")
+                    _evict_segments_locked()
+            if segment is not None and not segment.doomed:
+                _SEGMENTS.move_to_end(fingerprint)
+                segment.refs += 1
+                published.append(segment)
+                manifest[fingerprint] = segment.entry
+    if not manifest:
+        yield
+        return
+    previous = os.environ.get(SHM_ENV_VAR)
+    os.environ[SHM_ENV_VAR] = json.dumps(
+        {"version": 1, "segments": manifest}, sort_keys=True
+    )
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(SHM_ENV_VAR, None)
+        else:
+            os.environ[SHM_ENV_VAR] = previous
+        with _LOCK:
+            for segment in published:
+                segment.refs -= 1
+                if segment.doomed and segment.refs <= 0:
+                    _destroy_segment(segment)
+
+
+def _cleanup_at_exit() -> None:
+    # Only the creating process may unlink: fork children inherit this
+    # hook (and the segment table) and must not reap the parent's plane.
+    if _OWNER_PID != os.getpid():
+        return
+    with _LOCK:
+        for segment in _SEGMENTS.values():
+            _destroy_segment(segment)
+        _SEGMENTS.clear()
+
+
+atexit.register(_cleanup_at_exit)
+
+
+# -- attacher side -----------------------------------------------------
+
+
+def _resolve_manifest() -> Optional[Dict[str, Any]]:
+    """The fingerprint -> segment manifest from the environment, cached
+    per (value, pid) so fork children re-resolve and a torn manifest is
+    charged one fallback, not one per lookup."""
+    global _MANIFEST, _MANIFEST_RAW, _MANIFEST_PID
+    raw = os.environ.get(SHM_ENV_VAR)
+    if not raw:
+        return None
+    with _LOCK:
+        if _MANIFEST_RAW == raw and _MANIFEST_PID == os.getpid():
+            return _MANIFEST
+        _MANIFEST_RAW = raw
+        _MANIFEST_PID = os.getpid()
+        try:
+            segments = json.loads(raw)["segments"]
+            if not isinstance(segments, dict):
+                raise TypeError("manifest segments must be a mapping")
+        except (ValueError, KeyError, TypeError):
+            record_event("fallback")
+            _MANIFEST = None
+        else:
+            _MANIFEST = segments
+        return _MANIFEST
+
+
+def _attach_segment(name: str) -> Optional[shared_memory.SharedMemory]:
+    """Attach (and cache for process lifetime) one named segment.
+
+    Failures cache as ``None``: a segment the parent already unlinked
+    stays a miss without re-probing on every lookup.
+    """
+    with _LOCK:
+        if name in _ATTACHED:
+            return _ATTACHED[name]
+    try:
+        with _tracing.span("shm.attach", segment=name):
+            try:
+                segment = shared_memory.SharedMemory(name=name, track=False)
+            except TypeError:
+                # track= is 3.13+; earlier Pythons also register the
+                # attach with the resource tracker (bpo-39959). Within
+                # this design that is harmless: segments are only ever
+                # attached by descendants of the publishing process, so
+                # fork and spawn workers alike share the parent's
+                # tracker daemon, whose per-name set dedupes the extra
+                # registration. Unregistering here would be wrong -- it
+                # strips the *owner's* registration from the shared
+                # tracker and makes the owner's later unlink complain.
+                segment = shared_memory.SharedMemory(name=name)
+    except (OSError, ValueError):
+        record_event("fallback")
+        segment = None
+    else:
+        record_event("attach")
+    with _LOCK:
+        _ATTACHED[name] = segment
+    return segment
+
+
+def lookup_arrays(fingerprint: str) -> Optional[Dict[str, np.ndarray]]:
+    """Read-only zero-copy views of the published tensors for
+    ``fingerprint``, or ``None`` (miss or fallback).
+
+    Views alias the shared segment directly -- no bytes move. The
+    creating process answers ``None`` for its own segments (it serves
+    in-process lookups from the offers registry; views into its own
+    buffer would pin the segment against destruction).
+    """
+    if not enabled():
+        return None
+    manifest = _resolve_manifest()
+    if manifest is None:
+        return None
+    entry = manifest.get(fingerprint)
+    if entry is None:
+        return None
+    with _LOCK:
+        if _OWNER_PID == os.getpid() and fingerprint in _SEGMENTS:
+            return None
+    try:
+        segment = _attach_segment(entry["name"])
+        if segment is None:
+            return None
+        arrays: Dict[str, np.ndarray] = {}
+        for spec in entry["arrays"]:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(dim) for dim in spec["shape"])
+            offset = int(spec["offset"])
+            nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+            if offset < 0 or offset + nbytes > segment.size:
+                raise ValueError("segment shorter than manifest claims")
+            view = np.ndarray(
+                shape, dtype=dtype, buffer=segment.buf, offset=offset
+            )
+            view.flags.writeable = False
+            arrays[str(spec["name"])] = view
+    except (KeyError, TypeError, ValueError, OSError):
+        record_event("fallback")
+        return None
+    record_event("segment_hit")
+    return arrays
+
+
+def attach_from_env() -> int:
+    """Eagerly attach every manifest segment (pool-worker initializer
+    probe); returns the number attached. Failures degrade per segment."""
+    if not enabled():
+        return 0
+    manifest = _resolve_manifest()
+    if not manifest:
+        return 0
+    count = 0
+    for entry in manifest.values():
+        name = entry.get("name") if isinstance(entry, dict) else None
+        if isinstance(name, str) and _attach_segment(name) is not None:
+            count += 1
+    return count
+
+
+# -- introspection / lifecycle ----------------------------------------
+
+
+def plane_summary() -> Dict[str, Any]:
+    """The plane's state for ``/v1/stats`` and ``--explain-cache``."""
+    with _LOCK:
+        return {
+            "enabled": enabled(),
+            "offers": len(_OFFERS),
+            "segments": len(_SEGMENTS),
+            "segment_bytes": sum(
+                segment.nbytes for segment in _SEGMENTS.values()
+            ),
+            "attached": sum(
+                1 for segment in _ATTACHED.values() if segment is not None
+            ),
+            "events": dict(_TALLY),
+        }
+
+
+def reset_plane() -> None:
+    """Drop offers, destroy owned segments, and forget attachments
+    (test isolation; also safe between independent benchmark runs)."""
+    global _OWNER_PID, _SEGMENTS_BROKEN
+    global _MANIFEST, _MANIFEST_RAW, _MANIFEST_PID
+    with _LOCK:
+        _OFFERS.clear()
+        if _OWNER_PID == os.getpid():
+            for segment in _SEGMENTS.values():
+                if segment.refs > 0:
+                    segment.doomed = True
+                else:
+                    _destroy_segment(segment)
+        _SEGMENTS.clear()
+        _OWNER_PID = None
+        _SEGMENTS_BROKEN = False
+        for segment in _ATTACHED.values():
+            if segment is not None:
+                try:
+                    segment.close()
+                except (OSError, BufferError):
+                    pass  # live views keep the mapping; freed at exit
+        _ATTACHED.clear()
+        _MANIFEST = None
+        _MANIFEST_RAW = None
+        _MANIFEST_PID = None
+        _TALLY.clear()

@@ -1,0 +1,18 @@
+"""Shared hygiene for the whole suite: the shared stage plane
+(:mod:`repro.pipeline.shm`) is process-global -- offers and published
+segments would otherwise leak windowed artifacts between tests that
+happen to analyze identical traces, turning expected stage
+computations into plane hits (and stranding shared-memory segments).
+Every test starts and ends with the plane empty.
+"""
+
+import pytest
+
+from repro.pipeline import shm
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_plane():
+    shm.reset_plane()
+    yield
+    shm.reset_plane()

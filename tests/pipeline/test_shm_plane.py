@@ -1,0 +1,366 @@
+"""Chaos and concurrency suite for the shared stage plane.
+
+The plane (:mod:`repro.pipeline.shm`) is an accelerator, never a
+correctness layer. These tests hammer its concurrency (many processes
+mapping one segment, fork *and* spawn), its failure modes (torn
+manifests, vanished segments, manifests that lie about sizes, truncated
+mmap members) and its one hard invariant: synthesis results are
+byte-identical with the plane enabled, disabled, or falling back
+mid-flight.
+"""
+
+import json
+import multiprocessing as mp
+import os
+import shutil
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import synthetic_trace
+from repro.core import SynthesisConfig
+from repro.exec import ResultCache
+from repro.pipeline import ArtifactStore, PipelineRunner
+from repro.pipeline import shm
+from repro.pipeline.runner import _window_arrays
+
+CONFIG = SynthesisConfig(max_targets_per_bus=None)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_trace(
+        burst_cycles=200, total_cycles=6_000, num_initiators=4,
+        num_targets=4, seed=17,
+    )
+
+
+def _arrays():
+    return {
+        "comm": np.arange(24.0).reshape(2, 3, 4),
+        "wo": np.ones((3, 4), dtype=np.int64),
+        "caps": np.array([7.5, 2.25]),
+    }
+
+
+def _digest(arrays):
+    """An order-stable, process-portable content digest of ``arrays``."""
+    return {
+        name: (arr.dtype.str, tuple(arr.shape), float(np.asarray(arr).sum()))
+        for name, arr in sorted(arrays.items())
+    }
+
+
+# -- pool worker entry points (module level: spawn must pickle them) ---
+
+
+def _worker_lookup(fingerprint):
+    arrays = shm.lookup_arrays(fingerprint)
+    return None if arrays is None else _digest(arrays)
+
+
+def _worker_attach_count(_):
+    return shm.attach_from_env()
+
+
+def _worker_write_probe(fingerprint):
+    arrays = shm.lookup_arrays(fingerprint)
+    if arrays is None:
+        return "miss"
+    try:
+        arrays["comm"][0] = 0.0
+    except ValueError:
+        return "read-only"
+    return "writable"
+
+
+def _worker_solve_from_segment(fingerprint):
+    arrays = shm.lookup_arrays(fingerprint)
+    if arrays is None:
+        return None
+    from repro.pipeline.runner import _window_from_arrays
+
+    rebuilt = _window_from_arrays(arrays, fingerprint, mirrored=False)
+    runner = PipelineRunner(memoize_bindings=False)
+    solved = runner.bind(
+        rebuilt, runner.conflicts(rebuilt, CONFIG), CONFIG
+    )
+    return solved.binding
+
+
+class TestOffersRegistry:
+    def test_offer_and_local_hit(self):
+        sentinel = object()
+        shm.offer("fp-a", sentinel, _arrays)
+        assert shm.lookup_artifact("fp-a") is sentinel
+        assert shm.lookup_artifact("fp-missing") is None
+        events = shm.plane_summary()["events"]
+        assert events.get("offer") == 1
+        assert events.get("local_hit") == 1
+
+    def test_registry_is_lru_bounded(self):
+        for i in range(50):
+            shm.offer(f"fp-{i}", i, _arrays)
+        summary = shm.plane_summary()
+        assert summary["offers"] <= 32
+        assert shm.lookup_artifact("fp-0") is None     # evicted
+        assert shm.lookup_artifact("fp-49") == 49      # retained
+
+    def test_disabled_plane_is_inert(self):
+        try:
+            shm.set_enabled(False)
+            shm.offer("fp-b", object(), _arrays)
+            assert shm.lookup_artifact("fp-b") is None
+            assert shm.lookup_arrays("fp-b") is None
+            assert shm.plane_summary()["offers"] == 0
+        finally:
+            shm.set_enabled(True)
+
+
+class TestSegmentPlane:
+    def test_fork_workers_read_one_segment(self):
+        """N fork processes map the same published segment and all see
+        byte-identical tensors."""
+        source = _arrays()
+        shm.offer("fp-seg", object(), lambda: source)
+        with shm.propagate_plane():
+            assert os.environ.get(shm.SHM_ENV_VAR)
+            with mp.get_context("fork").Pool(4) as pool:
+                digests = pool.map(_worker_lookup, ["fp-seg"] * 8)
+        assert all(d == _digest(source) for d in digests)
+        assert shm.plane_summary()["events"].get("publish") == 1
+
+    def test_spawn_workers_inherit_via_env(self):
+        """Spawn workers share nothing but the environment -- the
+        ``REPRO_SHM`` handshake alone must carry the plane across."""
+        source = _arrays()
+        shm.offer("fp-spawn", object(), lambda: source)
+        with shm.propagate_plane():
+            with mp.get_context("spawn").Pool(2) as pool:
+                digests = pool.map(_worker_lookup, ["fp-spawn"] * 2)
+        assert digests == [_digest(source)] * 2
+
+    def test_worker_attach_probe_counts_segments(self):
+        shm.offer("fp-probe", object(), _arrays)
+        with shm.propagate_plane():
+            with mp.get_context("fork").Pool(2) as pool:
+                counts = pool.map(_worker_attach_count, range(2))
+        assert counts == [1, 1]
+
+    def test_owner_does_not_self_attach(self):
+        """The publishing process answers segment lookups with ``None``
+        (it serves in-process hits from the offers registry instead)."""
+        shm.offer("fp-own", object(), _arrays)
+        with shm.propagate_plane():
+            assert shm.lookup_arrays("fp-own") is None
+
+    def test_torn_manifest_degrades_to_miss(self, monkeypatch):
+        shm.offer("fp-torn", object(), _arrays)
+        with shm.propagate_plane():
+            monkeypatch.setenv(shm.SHM_ENV_VAR, "{not json at all")
+            with mp.get_context("fork").Pool(2) as pool:
+                digests = pool.map(_worker_lookup, ["fp-torn"] * 2)
+        assert digests == [None, None]
+
+    def test_vanished_segment_is_a_miss(self, monkeypatch):
+        manifest = {
+            "version": 1,
+            "segments": {
+                "fp-gone": {
+                    "name": "repro-chaos-does-not-exist",
+                    "arrays": [
+                        {"name": "x", "dtype": "<f8", "shape": [2],
+                         "offset": 0},
+                    ],
+                },
+            },
+        }
+        monkeypatch.setenv(shm.SHM_ENV_VAR, json.dumps(manifest))
+        assert shm.lookup_arrays("fp-gone") is None
+        assert shm.plane_summary()["events"].get("fallback", 0) >= 1
+
+    def test_manifest_lying_about_shape_is_a_miss(self, monkeypatch):
+        """A manifest claiming more bytes than the segment holds must
+        fail the bounds check, not SIGBUS."""
+        shm.offer("fp-lie", object(), _arrays)
+        with shm.propagate_plane():
+            raw = json.loads(os.environ[shm.SHM_ENV_VAR])
+            entry = json.loads(json.dumps(raw["segments"]["fp-lie"]))
+            entry["arrays"][0]["shape"] = [10_000, 10_000]
+            # Re-key the tampered entry so the owner-guard (which only
+            # covers the process's own fingerprints) does not mask it.
+            raw["segments"]["fp-tampered"] = entry
+            monkeypatch.setenv(
+                shm.SHM_ENV_VAR, json.dumps(raw, sort_keys=True)
+            )
+            assert shm.lookup_arrays("fp-tampered") is None
+            assert shm.plane_summary()["events"].get("fallback", 0) >= 1
+
+    def test_segment_views_are_read_only(self):
+        source = _arrays()
+        shm.offer("fp-ro", object(), lambda: source)
+        with shm.propagate_plane():
+            with mp.get_context("fork").Pool(1) as pool:
+                result = pool.apply(_worker_write_probe, ("fp-ro",))
+        assert result == "read-only"
+
+    def test_plane_disable_env_propagates(self):
+        """``--no-shm`` must hold across every start method: the
+        exported disable flag beats an inherited manifest."""
+        shm.offer("fp-off", object(), _arrays)
+        try:
+            with shm.propagate_plane():
+                shm.set_enabled(False)
+                with mp.get_context("fork").Pool(1) as pool:
+                    digest = pool.apply(_worker_lookup, ("fp-off",))
+            assert digest is None
+        finally:
+            shm.set_enabled(True)
+
+
+class TestByteIdentity:
+    """Reports must not depend on which tier served the tensors."""
+
+    def _design(self, trace):
+        runner = PipelineRunner()
+        art = runner.design(trace, CONFIG, 500)
+        return art.design, runner.counters.snapshot()
+
+    def test_shm_hit_yields_identical_tensors(self, trace):
+        cold = PipelineRunner()
+        original = cold.window(cold.collect(trace), CONFIG, 500,
+                               mirrored=False)
+        warm = PipelineRunner()
+        shared = warm.window(warm.collect(trace), CONFIG, 500,
+                             mirrored=False)
+        assert warm.counters.shm_hits.get("window") == 1
+        assert "window" not in warm.counters.computed
+        for name, arr in _window_arrays(original).items():
+            np.testing.assert_array_equal(
+                arr, _window_arrays(shared)[name]
+            )
+
+    def test_design_identical_enabled_disabled_midfallback(
+        self, trace, monkeypatch
+    ):
+        enabled_design, _ = self._design(trace)
+
+        shm.reset_plane()
+        try:
+            shm.set_enabled(False)
+            disabled_design, counters = self._design(trace)
+            assert not counters["shm_hits"]  # plane truly bypassed
+        finally:
+            shm.set_enabled(True)
+
+        # Mid-fallback: the plane is on, but every segment lookup hits
+        # a torn manifest and every offer has vanished.
+        shm.reset_plane()
+        monkeypatch.setenv(shm.SHM_ENV_VAR, "][ torn mid-handshake")
+        fallback_design, _ = self._design(trace)
+
+        assert enabled_design == disabled_design == fallback_design
+
+    def test_rehydrated_segment_solves_identically(self, trace):
+        """A binding solved from segment-rehydrated tensors matches the
+        directly-computed one bit for bit."""
+        cold = PipelineRunner()
+        collected = cold.collect(trace)
+        windowed = cold.window(collected, CONFIG, 500, mirrored=False)
+        conflicts = cold.conflicts(windowed, CONFIG)
+        reference = cold.bind(windowed, conflicts, CONFIG)
+
+        source = _window_arrays(windowed)
+        shm.reset_plane()
+        shm.offer(windowed.fingerprint, object(), lambda: source)
+        with shm.propagate_plane():
+            with mp.get_context("fork").Pool(1) as pool:
+                remote = pool.apply(
+                    _worker_solve_from_segment, (windowed.fingerprint,)
+                )
+        assert remote == reference.binding
+
+
+class TestMmapTier:
+    def test_put_creates_tier_and_get_maps_it(self, tmp_path):
+        store = ArtifactStore(disk=ResultCache(tmp_path))
+        source = _arrays()
+        store.put_arrays("fp", source)
+        tier = tmp_path / "stage-fp.mmap"
+        assert tier.is_dir()
+        loaded = store.get_arrays("fp")
+        assert loaded is not None
+        for name, arr in source.items():
+            np.testing.assert_array_equal(loaded[name], arr)
+            assert isinstance(loaded[name], np.memmap)
+
+    def test_put_skips_reserialize_when_sidecar_exists(
+        self, tmp_path, monkeypatch
+    ):
+        store = ArtifactStore(disk=ResultCache(tmp_path))
+        store.put_arrays("fp", _arrays())
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("re-serialized an existing sidecar")
+
+        monkeypatch.setattr(np, "savez_compressed", _boom)
+        store.put_arrays("fp", _arrays())  # must not re-serialize
+        assert store.get_arrays("fp") is not None
+
+    def test_truncated_member_heals_from_npz(self, tmp_path):
+        store = ArtifactStore(disk=ResultCache(tmp_path))
+        source = _arrays()
+        store.put_arrays("fp", source)
+        member = next((tmp_path / "stage-fp.mmap").glob("*.npy"))
+        member.write_bytes(member.read_bytes()[:8])
+
+        loaded = store.get_arrays("fp")      # npz tier heals the tear
+        assert loaded is not None
+        for name, arr in source.items():
+            np.testing.assert_array_equal(loaded[name], arr)
+        # ... and the tier was rebuilt from the compressed copy.
+        assert (tmp_path / "stage-fp.mmap").is_dir()
+
+    def test_corrupt_npz_is_unlinked_for_rewrite(self, tmp_path):
+        store = ArtifactStore(disk=ResultCache(tmp_path))
+        store.put_arrays("fp", _arrays())
+        shutil.rmtree(tmp_path / "stage-fp.mmap")
+        (tmp_path / "stage-fp.npz").write_bytes(b"rotten")
+        assert store.get_arrays("fp") is None
+        # The rotten file must not shadow the next write-through.
+        assert not (tmp_path / "stage-fp.npz").exists()
+        store.put_arrays("fp", _arrays())
+        assert store.get_arrays("fp") is not None
+
+
+class TestCacheAccounting:
+    def test_usage_counts_mmap_tier_dirs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        store = ArtifactStore(disk=cache)
+        store.put_arrays("fp", _arrays())
+        usage = cache.usage()
+        assert usage.entries == 2            # npz file + mmap dir
+        member_bytes = sum(
+            f.stat().st_size
+            for f in (tmp_path / "stage-fp.mmap").glob("*.npy")
+        )
+        assert usage.total_bytes >= member_bytes
+
+    def test_prune_evicts_mmap_tier_dirs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        store = ArtifactStore(disk=cache)
+        store.put_arrays("fp", _arrays())
+        cache.prune(max_bytes=0)
+        assert cache.usage().entries == 0
+        assert not (tmp_path / "stage-fp.mmap").exists()
+
+    def test_orphan_sweep_reaps_torn_tier_writes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        torn = tmp_path / ".tmp-abc123.mmap"
+        torn.mkdir()
+        (torn / "comm.npy").write_bytes(b"partial")
+        old = time.time() - 2 * 3600
+        os.utime(torn, (old, old))
+        assert cache.sweep_orphans() >= 1
+        assert not torn.exists()

@@ -9,6 +9,7 @@ never raised into the solve that produced the value.
 
 import json
 import os
+import shutil
 import time
 
 import numpy as np
@@ -169,6 +170,9 @@ class TestTensorSidecars:
 
         path = tmp_path / "stage-fp1.npz"
         path.write_bytes(path.read_bytes()[:10])  # torn mid-write
+        # Drop the uncompressed mmap tier so the torn npz is what gets
+        # read (the hot tier would otherwise mask the corruption).
+        shutil.rmtree(tmp_path / "stage-fp1.mmap", ignore_errors=True)
         assert store.get_arrays("fp1") is None
 
     def test_garbage_npz_sidecar_is_a_miss(self, tmp_path):
